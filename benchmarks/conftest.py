@@ -1,0 +1,46 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``test_figN_*`` file regenerates one of the paper's figures at
+benchmark scale (the SMOKE grids), measures the dominant computation
+with pytest-benchmark, and asserts the figure's *qualitative shape* —
+who wins, and in which direction the curves move. Absolute values are
+environment-dependent and not asserted.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.manet_common import ManetPoint, run_manet_point
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Benchmark scale: the SMOKE grids."""
+    return SMOKE
+
+
+def manet_metrics(strategy, distance, cardinality=20_000, dimensions=2,
+                  devices=25, distribution="independent", seed=20060403):
+    """Run (or recall) one memoised MANET point at smoke scale."""
+    return run_manet_point(
+        ManetPoint(
+            strategy=strategy,
+            distance=distance,
+            cardinality=cardinality,
+            dimensions=dimensions,
+            devices=devices,
+            distribution=distribution,
+            scale_name="smoke",
+            seed=seed,
+        ),
+        SMOKE,
+    )
+
+
+def finite(values):
+    """Drop None entries from a series."""
+    return [v for v in values if v is not None]

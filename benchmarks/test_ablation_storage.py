@@ -1,0 +1,63 @@
+"""Ablation — storage model choice for local skyline processing.
+
+Section 4.1 argues for hybrid storage over flat, domain, and ring
+layouts. This bench runs the same local skyline query through all four
+faithful paths and checks the cost ordering the paper predicts:
+
+    hybrid < flat < domain < ring   (modelled device time)
+
+and that hybrid is also the most compact layout when attribute values
+are shared.
+"""
+
+import pytest
+
+from repro.core import SkylineQuery, local_skyline
+from repro.devices import PDA_2006
+from repro.experiments.local_processing import device_dataset
+from repro.storage import DomainStorage, FlatStorage, HybridStorage, RingStorage
+
+QUERY = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=1.0e9)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return device_dataset(3000, 2, "independent", seed=5)
+
+
+def modelled_time(storage):
+    storage.stats.reset()
+    result = local_skyline(storage, QUERY)
+    return PDA_2006.time_for_counter(
+        result.comparisons,
+        scanned=result.scanned,
+        indirections=storage.stats.indirections,
+    )
+
+
+class TestStorageAblation:
+    @pytest.mark.parametrize("layout", [
+        FlatStorage, HybridStorage, DomainStorage, RingStorage,
+    ])
+    def test_wall_time_per_layout(self, benchmark, relation, layout):
+        storage = layout(relation)
+        result = benchmark(local_skyline, storage, QUERY)
+        assert result.reduced_size > 0
+
+    def test_modelled_cost_ordering(self, benchmark, relation):
+        times = benchmark.pedantic(lambda: {
+            "hybrid": modelled_time(HybridStorage(relation)),
+            "flat": modelled_time(FlatStorage(relation)),
+            "domain": modelled_time(DomainStorage(relation)),
+            "ring": modelled_time(RingStorage(relation)),
+        }, rounds=1, iterations=1)
+        assert times["hybrid"] < times["flat"] < times["domain"] < times["ring"], times
+
+    def test_hybrid_most_compact(self, benchmark, relation):
+        sizes = benchmark.pedantic(lambda: {
+            "hybrid": HybridStorage(relation).size_bytes(),
+            "flat": FlatStorage(relation).size_bytes(),
+            "domain": DomainStorage(relation).size_bytes(),
+            "ring": RingStorage(relation).size_bytes(),
+        }, rounds=1, iterations=1)
+        assert min(sizes, key=sizes.get) == "hybrid", sizes

@@ -1,0 +1,53 @@
+"""Figure 10 — response time in the MANET simulation, independent data.
+
+Shapes asserted (Section 5.2.3):
+* BF answers faster than DF at every distance (parallel vs serial
+  processing — the paper's headline comparison);
+* DF deteriorates faster than BF as dimensionality grows;
+* distance matters more to DF than to BF.
+"""
+
+import pytest
+
+from .conftest import manet_metrics
+
+
+class TestFig10Shapes:
+    @pytest.mark.parametrize("distance", [100.0, 250.0, 500.0])
+    def test_bf_faster_than_df(self, benchmark, distance):
+        bf = benchmark.pedantic(
+            manet_metrics, args=("bf", distance), rounds=1, iterations=1
+        )
+        df = manet_metrics("df", distance)
+        assert bf.response_time is not None and df.response_time is not None
+        assert bf.response_time < df.response_time, (
+            f"d={distance}: BF ({bf.response_time:.3f}s) must beat "
+            f"DF ({df.response_time:.3f}s)"
+        )
+
+    def test_df_deteriorates_faster_with_dimensionality(self, benchmark):
+        bf2 = benchmark.pedantic(
+            lambda: manet_metrics("bf", 500.0, dimensions=2).response_time,
+            rounds=1, iterations=1,
+        )
+        bf4 = manet_metrics("bf", 500.0, dimensions=4).response_time
+        df2 = manet_metrics("df", 500.0, dimensions=2).response_time
+        df4 = manet_metrics("df", 500.0, dimensions=4).response_time
+        assert None not in (bf2, bf4, df2, df4)
+        # absolute growth: serial DF accumulates the extra per-device
+        # work; parallel BF absorbs it
+        assert (df4 - df2) > (bf4 - bf2), (bf2, bf4, df2, df4)
+
+    def test_distance_hits_df_harder(self, benchmark):
+        bf_growth = benchmark.pedantic(
+            lambda: (
+                manet_metrics("bf", 500.0).response_time
+                - manet_metrics("bf", 100.0).response_time
+            ),
+            rounds=1, iterations=1,
+        )
+        df_growth = (
+            manet_metrics("df", 500.0).response_time
+            - manet_metrics("df", 100.0).response_time
+        )
+        assert df_growth > bf_growth, (bf_growth, df_growth)

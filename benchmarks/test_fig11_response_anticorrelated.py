@@ -1,0 +1,58 @@
+"""Figure 11 — response time in the MANET simulation, anti-correlated data.
+
+Shapes asserted:
+* BF still beats DF on the hard distribution;
+* AC response times exceed IN response times for DF (bigger skylines,
+  more serial work) at the same configuration;
+* BF improves (or at least does not degrade) per-device as the network
+  grows, thanks to parallelism.
+"""
+
+import pytest
+
+from .conftest import manet_metrics
+
+
+class TestFig11Shapes:
+    @pytest.mark.parametrize("distance", [250.0, 500.0])
+    def test_bf_faster_than_df_on_ac(self, benchmark, distance):
+        bf = benchmark.pedantic(
+            manet_metrics, args=("bf", distance),
+            kwargs={"distribution": "anticorrelated"},
+            rounds=1, iterations=1,
+        )
+        df = manet_metrics("df", distance, distribution="anticorrelated")
+        assert bf.response_time < df.response_time
+
+    def test_ac_slower_than_in_for_df(self, benchmark):
+        ac = benchmark.pedantic(
+            lambda: manet_metrics("df", 500.0, distribution="anticorrelated"),
+            rounds=1, iterations=1,
+        )
+        ind = manet_metrics("df", 500.0, distribution="independent")
+        assert ac.response_time > ind.response_time, (
+            ac.response_time, ind.response_time
+        )
+
+    def test_bf_scales_with_devices(self, benchmark):
+        """More devices -> more parallelism for BF; DF's serial chain
+        grows instead. (BF's 80%-quorum response can be undefined on a
+        sparse 9-device MANET — small networks partition easily — so the
+        cross-size ratio is only checked when both endpoints exist.)"""
+        bf9 = benchmark.pedantic(
+            lambda: manet_metrics("bf", 250.0, devices=9,
+                                  distribution="anticorrelated").response_time,
+            rounds=1, iterations=1,
+        )
+        bf25 = manet_metrics("bf", 250.0, devices=25,
+                             distribution="anticorrelated").response_time
+        df9 = manet_metrics("df", 250.0, devices=9,
+                            distribution="anticorrelated").response_time
+        df25 = manet_metrics("df", 250.0, devices=25,
+                             distribution="anticorrelated").response_time
+        assert None not in (df9, df25, bf25)
+        # DF's serial chain grows with network size; BF stays below it.
+        assert df25 > df9
+        assert bf25 < df25
+        if bf9 is not None:
+            assert (bf25 / bf9) < (df25 / df9) * 1.5

@@ -1,0 +1,43 @@
+"""Figure 12 — query message count vs. number of mobile devices.
+
+Shapes asserted (Section 5.2.4):
+* BF floods more protocol messages per query than DF at every network
+  size ("Parallelism generates and forwards more messages");
+* both counts grow as the network grows.
+"""
+
+import pytest
+
+from repro.experiments import figure_12
+
+from .conftest import manet_metrics
+
+
+class TestFig12Shapes:
+    def test_bf_floods_more_than_df(self, benchmark, scale):
+        fig = benchmark.pedantic(figure_12, args=(scale,), rounds=1, iterations=1)
+        bf, df = fig.get("BF"), fig.get("DF")
+        for i, m in enumerate(fig.x_values):
+            assert bf[i] is not None and df[i] is not None
+            assert bf[i] > df[i], (
+                f"m={m}: BF ({bf[i]:.1f}) must send more protocol "
+                f"messages than DF ({df[i]:.1f})"
+            )
+
+    def test_counts_grow_with_devices(self, benchmark, scale):
+        fig = benchmark.pedantic(figure_12, args=(scale,), rounds=1, iterations=1)
+        for name in ("BF", "DF"):
+            values = fig.get(name)
+            assert values[-1] > values[0], (name, values)
+
+    def test_message_count_insensitive_to_cardinality(self, benchmark):
+        """Paper: 'the cardinality ... [has] little impact on the message
+        count'."""
+        small = benchmark.pedantic(
+            lambda: manet_metrics("bf", 250.0, cardinality=10_000),
+            rounds=1, iterations=1,
+        )
+        large = manet_metrics("bf", 250.0, cardinality=20_000)
+        a = small.messages.protocol_per_query
+        b = large.messages.protocol_per_query
+        assert abs(a - b) / max(a, b) < 0.35, (a, b)

@@ -1,0 +1,41 @@
+"""Figure 9 — DRR in the MANET simulation, anti-correlated data.
+
+Shapes asserted:
+* runs complete on AC data for both strategies;
+* dimensionality still erodes DRR in the MANET setting ("the DRR change
+  in terms of attribute dimensionality is still pronounced");
+* AC DRR does not beat IN DRR at the same configuration.
+"""
+
+import pytest
+
+from .conftest import manet_metrics
+
+
+class TestFig9Shapes:
+    @pytest.mark.parametrize("strategy", ["bf", "df"])
+    def test_runs_produce_drr(self, benchmark, strategy):
+        metrics = benchmark.pedantic(
+            manet_metrics,
+            args=(strategy, 500.0),
+            kwargs={"distribution": "anticorrelated"},
+            rounds=1, iterations=1,
+        )
+        assert metrics.drr is not None
+
+    def test_dimensionality_erodes_drr(self, benchmark):
+        drr2 = benchmark.pedantic(lambda: manet_metrics(
+            "df", 500.0, dimensions=2, distribution="anticorrelated"
+        ).drr, rounds=1, iterations=1)
+        drr4 = manet_metrics(
+            "df", 500.0, dimensions=4, distribution="anticorrelated"
+        ).drr
+        assert drr4 < drr2, (drr2, drr4)
+
+    def test_ac_not_better_than_in(self, benchmark):
+        ac = benchmark.pedantic(
+            lambda: manet_metrics("df", 500.0, distribution="anticorrelated").drr,
+            rounds=1, iterations=1,
+        )
+        ind = manet_metrics("df", 500.0, distribution="independent").drr
+        assert ac <= ind + 0.05, (ac, ind)

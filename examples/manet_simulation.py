@@ -1,0 +1,75 @@
+"""A full MANET study: BF vs DF across query distances.
+
+Runs the Section 5.2 simulation pipeline — random waypoint mobility,
+AODV routing, under-estimated dynamically-updated filtering tuples — and
+reports the paper's three metrics (DRR, response time, message count)
+for both forwarding strategies at each query distance.
+
+Run:  python examples/manet_simulation.py
+"""
+
+from repro import (
+    ProtocolConfig,
+    SimulationConfig,
+    collect_metrics,
+    generate_workload,
+    make_global_dataset,
+    run_manet_simulation,
+)
+
+
+def main() -> None:
+    dataset = make_global_dataset(
+        cardinality=100_000,
+        dimensions=2,
+        devices=25,
+        distribution="independent",
+        seed=3,
+        value_step=1.0,
+    )
+    sim_time = 1200.0
+    print(f"{dataset.global_relation.cardinality} tuples across "
+          f"{dataset.devices} devices; {sim_time:.0f}s simulated; "
+          f"random waypoint 2-10 m/s, 120 s holding; AODV routing\n")
+
+    header = (f"{'strategy':>8} {'d':>5} {'DRR':>7} {'response':>9} "
+              f"{'msgs/query':>11} {'ctrl/query':>11} {'done':>6}")
+    print(header)
+    print("-" * len(header))
+    for strategy in ("bf", "df"):
+        for distance in (100.0, 250.0, 500.0):
+            workload = generate_workload(
+                devices=dataset.devices,
+                sim_time=sim_time,
+                distance=distance,
+                queries_per_device=(1, 2),
+                seed=17,
+            )
+            config = SimulationConfig(
+                strategy=strategy,
+                sim_time=sim_time,
+                protocol=ProtocolConfig(),
+                seed=23,
+            )
+            result = run_manet_simulation(dataset, workload, config)
+            m = collect_metrics(result, strategy)
+            drr = f"{m.drr:.3f}" if m.drr is not None else "-"
+            resp = f"{m.response_time:.2f}s" if m.response_time else "-"
+            msgs = (f"{m.messages.protocol_per_query:.1f}"
+                    if m.messages.protocol_per_query else "-")
+            ctrl = (f"{m.messages.control_per_query:.1f}"
+                    if m.messages.control_per_query is not None else "-")
+            print(f"{strategy.upper():>8} {distance:>5.0f} {drr:>7} "
+                  f"{resp:>9} {msgs:>11} {ctrl:>11} "
+                  f"{m.completed:>3}/{m.issued}")
+
+    print(
+        "\nExpected shapes (paper Section 5.2): BF answers faster thanks to"
+        "\nparallel processing, but floods more messages; DF's serial token"
+        "\ncarries a better-travelled filter, so its DRR is higher; larger"
+        "\nquery distances involve more devices and data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Device-side storage model comparison (Section 4.1 + Figure 5 flavour).
+
+Builds one device-resident relation and compares the four storage
+layouts — flat, hybrid (the paper's), domain, and ring — on:
+
+* storage footprint (bytes on the device);
+* modelled PDA time for one local skyline query;
+* the physical operations each layout pays for.
+
+Run:  python examples/storage_comparison.py
+"""
+
+from repro import (
+    DomainStorage,
+    FlatStorage,
+    HybridStorage,
+    PDA_2006,
+    RingStorage,
+    SkylineQuery,
+    local_skyline,
+)
+from repro.experiments.local_processing import device_dataset
+
+
+def main() -> None:
+    relation = device_dataset(
+        cardinality=20_000, dimensions=2, distribution="independent", seed=3
+    )
+    print(f"local relation: {relation.cardinality} tuples, "
+          f"{relation.dimensions} non-spatial attributes "
+          f"(domain {{0.0, 0.1, ..., 9.9}} -> 100 distinct values)\n")
+
+    query = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=1.0e9)
+    layouts = {
+        "flat (FS, baseline)": FlatStorage(relation),
+        "hybrid (HS, the paper's)": HybridStorage(relation),
+        "domain (Ammann et al.)": DomainStorage(relation),
+        "ring (PicoDBMS)": RingStorage(relation),
+    }
+
+    print(f"{'layout':<26} {'bytes':>10} {'modelled time':>14}  physical ops")
+    for name, storage in layouts.items():
+        result = local_skyline(storage, query)
+        seconds = PDA_2006.time_for_counter(
+            result.comparisons,
+            scanned=result.scanned,
+            indirections=storage.stats.indirections,
+        )
+        ops = []
+        if result.comparisons.id_comparisons:
+            ops.append(f"{result.comparisons.id_comparisons} id-cmp")
+        if result.comparisons.value_comparisons:
+            ops.append(f"{result.comparisons.value_comparisons} val-cmp")
+        if storage.stats.indirections:
+            ops.append(f"{storage.stats.indirections} derefs")
+        print(f"{name:<26} {storage.size_bytes():>10} {seconds:>12.3f} s  "
+              f"{', '.join(ops)}")
+
+    print(
+        "\nThe hybrid layout wins twice: byte IDs shrink the footprint, and"
+        "\nID comparisons + the maintained sort order shrink the query time."
+        "\nThe pointer layouts (domain, ring) pay a dereference for every"
+        "\nvalue access — the cost Section 4.1 rejects them for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""The paper's motivating scenario: a tourist looking for dinner.
+
+"A tourist may want to know about inexpensive and highly rated
+restaurants within a certain range" (Section 2). Restaurant data is
+scattered across the phones of other people in the area; the tourist's
+phone floods a constrained skyline query through the ad hoc network.
+
+This example uses a mixed-preference schema — MIN price, MAX rating —
+to show that the library generalizes beyond the paper's all-MIN setup.
+
+Run:  python examples/tourist_restaurants.py
+"""
+
+import numpy as np
+
+from repro import (
+    Preference,
+    Relation,
+    SimulationConfig,
+    make_global_dataset,
+    run_manet_simulation,
+)
+from repro.data import single_query_workload
+from repro.data.partition import GlobalDataset, GridPartition
+from repro.data.spatial import uniform_positions
+from repro.storage import AttributeSpec, RelationSchema
+
+SCHEMA = RelationSchema(
+    attributes=(
+        AttributeSpec("price", 5.0, 80.0),                         # EUR, minimize
+        AttributeSpec("rating", 1.0, 5.0, preference=Preference.MAX),
+    ),
+    spatial_extent=(0.0, 0.0, 1000.0, 1000.0),
+)
+
+
+def build_city(restaurants: int, devices: int, seed: int) -> GlobalDataset:
+    """Synthesize a city of restaurants, partitioned across phones."""
+    rng = np.random.default_rng(seed)
+    xy = uniform_positions(restaurants, SCHEMA.spatial_extent, rng)
+    price = np.round(rng.uniform(5.0, 80.0, restaurants), 1)
+    # better restaurants tend to cost more (mild correlation)
+    rating = np.clip(
+        np.round(1.0 + 3.0 * (price - 5.0) / 75.0 + rng.normal(0, 0.8, restaurants), 1),
+        1.0, 5.0,
+    )
+    global_relation = Relation(SCHEMA, xy, np.column_stack([price, rating]))
+
+    k = int(np.sqrt(devices))
+    grid = GridPartition(k=k, extent=SCHEMA.spatial_extent)
+    cells = grid.assign(xy)
+    locals_ = []
+    for cell in range(grid.cells):
+        idx = np.nonzero(cells == cell)[0]
+        locals_.append(
+            Relation(SCHEMA, xy[idx],
+                     global_relation.values[idx],
+                     global_relation.site_ids[idx])
+        )
+    return GlobalDataset(
+        schema=SCHEMA, global_relation=global_relation,
+        locals=tuple(locals_), grid=grid,
+    )
+
+
+def main() -> None:
+    city = build_city(restaurants=20_000, devices=25, seed=11)
+    print(f"{city.global_relation.cardinality} restaurants on "
+          f"{city.devices} phones")
+
+    # The tourist (device 7) wants dinner within 300 m.
+    workload = single_query_workload(originator=7, distance=300.0, time=1.0)
+    config = SimulationConfig(strategy="bf", sim_time=300.0, seed=5)
+    result = run_manet_simulation(city, workload, config)
+    record = result.records[0]
+
+    print(f"\nquery position ({record.query.pos[0]:.0f}, "
+          f"{record.query.pos[1]:.0f}), range {record.query.d:.0f} m")
+    print(f"{len(record.contributions)} phones answered; "
+          f"skyline has {record.result.cardinality} restaurants:\n")
+    rows = sorted(record.result.rows(), key=lambda s: s.values[0])
+    print(f"  {'price':>7}  {'rating':>6}  location")
+    for site in rows:
+        print(f"  {site.values[0]:>6.1f}E  {site.values[1]:>6.1f}  "
+              f"({site.x:6.1f}, {site.y:6.1f})")
+    print("\nEvery listed restaurant is a best trade-off: nothing nearby "
+          "is both cheaper and better rated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any figure's data as a text table.
+
+Examples::
+
+    python -m repro fig5a
+    python -m repro fig6 --scale smoke
+    python -m repro all --scale smoke
+    repro-skyline fig12 --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import experiments as ex
+
+__all__ = ["main"]
+
+_FIGURES: Dict[str, List[Callable]] = {
+    "fig5a": [ex.figure_5a],
+    "fig5b": [ex.figure_5b],
+    "fig5": [ex.figure_5a, ex.figure_5b],
+    "fig6a": [ex.figure_6a],
+    "fig6b": [ex.figure_6b],
+    "fig6c": [ex.figure_6c],
+    "fig6": [ex.figure_6a, ex.figure_6b, ex.figure_6c],
+    "fig7a": [ex.figure_7a],
+    "fig7b": [ex.figure_7b],
+    "fig7c": [ex.figure_7c],
+    "fig7": [ex.figure_7a, ex.figure_7b, ex.figure_7c],
+    "fig8a": [ex.figure_8a],
+    "fig8b": [ex.figure_8b],
+    "fig8c": [ex.figure_8c],
+    "fig8": [ex.figure_8a, ex.figure_8b, ex.figure_8c],
+    "fig9a": [ex.figure_9a],
+    "fig9b": [ex.figure_9b],
+    "fig9c": [ex.figure_9c],
+    "fig9": [ex.figure_9a, ex.figure_9b, ex.figure_9c],
+    "fig10a": [ex.figure_10a],
+    "fig10b": [ex.figure_10b],
+    "fig10c": [ex.figure_10c],
+    "fig10": [ex.figure_10a, ex.figure_10b, ex.figure_10c],
+    "fig11a": [ex.figure_11a],
+    "fig11b": [ex.figure_11b],
+    "fig11c": [ex.figure_11c],
+    "fig11": [ex.figure_11a, ex.figure_11b, ex.figure_11c],
+    "fig12": [ex.figure_12],
+    "sensitivity": [
+        lambda scale: ex.radio_range_sweep(scale=scale),
+        lambda scale: ex.speed_sweep(scale=scale),
+        lambda scale: ex.cpu_sweep(scale=scale),
+    ],
+}
+_FIGURES["all"] = [
+    fn
+    for key in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12")
+    for fn in _FIGURES[key]
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description=(
+            "Regenerate the evaluation figures of 'Skyline Queries Against "
+            "Mobile Lightweight Devices in MANETs' (ICDE 2006)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_FIGURES),
+        help="which figure (or figure group) to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("smoke", "default", "paper"),
+        help="experiment scale (default: default; paper = full-size grids)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each panel as an ASCII chart",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the results as a markdown report to FILE",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro`` / ``repro-skyline``."""
+    args = build_parser().parse_args(argv)
+    scale = ex.get_scale(args.scale)
+    results = []
+    for fn in _FIGURES[args.figure]:
+        start = time.time()
+        result = fn(scale)
+        results.append(result)
+        print(result.render())
+        if args.plot:
+            from .experiments.plotting import ascii_plot
+
+            print()
+            print(ascii_plot(result))
+        print(f"  [{time.time() - start:.1f}s]")
+        print()
+    if args.output:
+        from .experiments.report import markdown_report
+
+        report = markdown_report(
+            results,
+            title=f"Measured results — scale={scale.name}",
+            preamble=(
+                "Regenerated with `python -m repro "
+                f"{args.figure} --scale {scale.name}`."
+            ),
+        )
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

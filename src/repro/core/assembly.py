@@ -1,0 +1,135 @@
+"""Result assembly on the query originator (Section 4.3).
+
+The originator merges each incoming reduced local skyline ``SK'_i`` into
+its running result ``SK_org``: duplicates are identified by location only
+(no two distinct sites share an ``(x, y)``), and dominance is resolved in
+both directions so non-qualifying tuples from either side are removed.
+The paper does this "within a simple nested loop"; the implementation
+below mirrors those semantics (with a vectorised fast path) and is also
+used by intermediate devices in depth-first forwarding, which merge
+results en route.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..storage.relation import Relation
+from ..storage.schema import RelationSchema
+
+__all__ = ["merge_skylines", "SkylineAssembler"]
+
+
+def merge_skylines(current: Relation, incoming: Relation) -> Relation:
+    """Merge an incoming partial skyline into the current one.
+
+    Args:
+        current: The running merged skyline (internally dominance-free).
+        incoming: A reduced local skyline ``SK'_i`` (also internally
+            dominance-free, as local skylines are).
+
+    Returns:
+        The updated skyline: duplicates dropped (first copy wins),
+        dominated tuples from either side removed.
+    """
+    if current.schema != incoming.schema:
+        raise ValueError("cannot merge skylines over different schemas")
+    if incoming.cardinality == 0:
+        return current
+    if current.cardinality == 0:
+        return _dedup_within(incoming)
+    incoming = _dedup_within(incoming)
+
+    cur_vals = current.normalized_values()
+    inc_vals = incoming.normalized_values()
+
+    # Duplicate detection by (x, y) only (Section 4.3).
+    dup_incoming = _duplicate_mask(incoming.xy, current.xy)
+
+    # a dominates b: a <= b everywhere, a < b somewhere (minimization space).
+    no_worse = (cur_vals[:, None, :] <= inc_vals[None, :, :]).all(axis=2)
+    better = (cur_vals[:, None, :] < inc_vals[None, :, :]).any(axis=2)
+    dominates_ci = no_worse & better  # (cur, inc)
+
+    no_worse_t = (inc_vals[:, None, :] <= cur_vals[None, :, :]).all(axis=2)
+    better_t = (inc_vals[:, None, :] < cur_vals[None, :, :]).any(axis=2)
+    dominates_ic = no_worse_t & better_t  # (inc, cur)
+
+    inc_dominated = dominates_ci.any(axis=0)
+    keep_incoming = ~(inc_dominated | dup_incoming)
+    # Only non-duplicate incoming survivors may evict current members —
+    # a duplicate carries no new information, and a dominated incoming
+    # tuple cannot dominate anything the current set keeps.
+    cur_dominated = dominates_ic[keep_incoming].any(axis=0) if keep_incoming.any() else (
+        np.zeros(current.cardinality, dtype=bool)
+    )
+    keep_current = ~cur_dominated
+
+    merged_xy = np.vstack([current.xy[keep_current], incoming.xy[keep_incoming]])
+    merged_vals = np.vstack(
+        [current.values[keep_current], incoming.values[keep_incoming]]
+    )
+    merged_ids = np.concatenate(
+        [current.site_ids[keep_current], incoming.site_ids[keep_incoming]]
+    )
+    return Relation(current.schema, merged_xy, merged_vals, merged_ids)
+
+
+def _duplicate_mask(xy: np.ndarray, against: np.ndarray) -> np.ndarray:
+    """Rows of ``xy`` whose exact location appears in ``against``."""
+    if against.shape[0] == 0 or xy.shape[0] == 0:
+        return np.zeros(xy.shape[0], dtype=bool)
+    seen = {(float(x), float(y)) for x, y in against}
+    return np.fromiter(
+        ((float(x), float(y)) in seen for x, y in xy),
+        dtype=bool,
+        count=xy.shape[0],
+    )
+
+
+def _dedup_within(relation: Relation) -> Relation:
+    """Drop same-location duplicates inside one partial result."""
+    if relation.cardinality <= 1:
+        return relation
+    _, first = np.unique(relation.xy, axis=0, return_index=True)
+    if first.shape[0] == relation.cardinality:
+        return relation
+    return relation.take(np.sort(first))
+
+
+class SkylineAssembler:
+    """Stateful assembler living on the query originator.
+
+    Seed it with the originator's own local skyline, feed it each
+    arriving ``SK'_i`` with :meth:`add`, and read the final (or current
+    partial) answer from :meth:`result`. Merging is incremental, exactly
+    as the paper describes.
+    """
+
+    def __init__(self, schema: RelationSchema, initial: Optional[Relation] = None):
+        self._schema = schema
+        self._current = (
+            _dedup_within(initial) if initial is not None else Relation.empty(schema)
+        )
+        self._merges = 0
+
+    @property
+    def merges(self) -> int:
+        """How many partial results have been merged in."""
+        return self._merges
+
+    def add(self, incoming: Relation) -> None:
+        """Merge one incoming partial skyline."""
+        self._current = merge_skylines(self._current, incoming)
+        self._merges += 1
+
+    def add_all(self, results: Iterable[Relation]) -> None:
+        """Merge a batch of partial skylines."""
+        for rel in results:
+            self.add(rel)
+
+    def result(self) -> Relation:
+        """The current merged skyline ``SK_org``."""
+        return self._current

@@ -1,0 +1,270 @@
+"""Filtering tuples and dominating regions (Sections 3.2-3.4).
+
+A *filtering tuple* ``tp_flt`` travels with the query; devices use it to
+prune local skyline members that cannot appear in the global skyline. The
+originator picks the local skyline tuple with the largest **volume of
+dominating region**
+
+.. math:: VDR_j = \\prod_{k=1}^n (b_k - p_{jk})
+
+where ``b_k`` is the upper bound of attribute ``k``'s domain. When the
+global bounds are unknown on a device, over- and under-estimated regions
+are used instead (Section 3.3) — neither affects correctness, only which
+tuple gets picked. During multi-hop forwarding the filter is *dynamically
+promoted*: an intermediate device replaces it when its own local skyline
+holds a tuple with a larger VDR (Section 3.4).
+
+The multi-filter extension sketched as future work in Section 7 is also
+implemented: :func:`select_filter_set` greedily picks ``k`` tuples
+maximizing the union volume of their dominating regions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.relation import Relation
+from ..storage.schema import Preference, RelationSchema, SiteTuple
+
+__all__ = [
+    "Estimation",
+    "FilteringTuple",
+    "vdr",
+    "vdr_matrix",
+    "estimation_bounds",
+    "normalize_values",
+    "select_filter",
+    "select_filter_set",
+    "union_dominating_volume",
+]
+
+
+class Estimation(enum.Enum):
+    """How a device bounds the data space when computing VDRs.
+
+    EXACT uses the true global domain upper bounds ``b_k`` (requires
+    global knowledge); OVER uses pre-specified values above ``b_k`` (e.g.
+    the attribute type's maximum); UNDER uses the locally known maxima
+    ``h_k`` (Section 3.3).
+    """
+
+    EXACT = "exact"
+    OVER = "over"
+    UNDER = "under"
+
+
+@dataclass(frozen=True)
+class FilteringTuple:
+    """A filtering tuple in flight: the site plus its current VDR score.
+
+    The VDR is re-evaluated under each device's own estimation view when
+    deciding dynamic promotion, so the stored score is advisory — it is
+    the score assigned by whichever device last selected the filter.
+    """
+
+    site: SiteTuple
+    vdr: float
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """Non-spatial attribute values used for pruning."""
+        return self.site.values
+
+
+def normalize_values(
+    values: Sequence[float], schema: RelationSchema
+) -> Tuple[float, ...]:
+    """Map a raw value vector into minimization space (MAX attrs negated)."""
+    schema.validate_values(values)
+    return tuple(
+        a.preference.normalize(float(v))
+        for a, v in zip(schema.attributes, values)
+    )
+
+
+def estimation_bounds(
+    schema: RelationSchema,
+    estimation: Estimation,
+    local_highs: Optional[Sequence[float]] = None,
+    over_margin: float = 0.2,
+) -> Tuple[float, ...]:
+    """Per-attribute VDR bounds, **in minimization space**.
+
+    For the paper's all-MIN schemas these are the familiar domain upper
+    bounds ``b_k``; a MAX attribute contributes the normalized image of
+    its *worst* corner (its negated lower bound).
+
+    Args:
+        schema: Relation schema (supplies the exact bounds).
+        estimation: Which bounding mode to use.
+        local_highs: The locally known per-attribute worst values in
+            minimization space (``Relation.normalized_worst()``; equal to
+            the local maxima ``h_k`` for all-MIN schemas). Required for
+            UNDER.
+        over_margin: OVER pads the exact bound by ``over_margin`` of the
+            domain width — "a pre-specified value larger than the global
+            domain upper bound".
+
+    Returns:
+        One bound per attribute, minimization space.
+    """
+    if estimation is Estimation.EXACT:
+        return tuple(
+            a.preference.normalize(a.high if a.preference is Preference.MIN else a.low)
+            for a in schema.attributes
+        )
+    if estimation is Estimation.OVER:
+        if over_margin <= 0:
+            raise ValueError("over_margin must be > 0 for over-estimation")
+        exact = estimation_bounds(schema, Estimation.EXACT)
+        return tuple(
+            b + over_margin * a.width for b, a in zip(exact, schema.attributes)
+        )
+    if estimation is Estimation.UNDER:
+        if local_highs is None:
+            raise ValueError("under-estimation requires the local maxima h_k")
+        if len(local_highs) != schema.dimensions:
+            raise ValueError(
+                f"expected {schema.dimensions} local highs, got {len(local_highs)}"
+            )
+        return tuple(float(h) for h in local_highs)
+    raise ValueError(f"unknown estimation {estimation!r}")
+
+
+def vdr(values: Sequence[float], bounds: Sequence[float]) -> float:
+    """Volume of the dominating region of one tuple.
+
+    Factors are clamped at zero: a tuple sitting on (or beyond) a bound
+    dominates nothing along that axis within the bounded space. This
+    matters for under-estimation, where the tuple holding the local
+    maximum has ``h_k - p_k = 0``.
+    """
+    if len(values) != len(bounds):
+        raise ValueError(f"arity mismatch: {len(values)} vs {len(bounds)}")
+    volume = 1.0
+    for v, b in zip(values, bounds):
+        volume *= max(b - v, 0.0)
+    return volume
+
+
+def vdr_matrix(values: np.ndarray, bounds: Sequence[float]) -> np.ndarray:
+    """Vectorised :func:`vdr` over the rows of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2 or values.shape[1] != len(bounds):
+        raise ValueError(
+            f"values must be (N, {len(bounds)}), got {values.shape}"
+        )
+    factors = np.maximum(np.asarray(bounds, dtype=np.float64)[None, :] - values, 0.0)
+    return factors.prod(axis=1)
+
+
+def select_filter(
+    skyline: Relation,
+    estimation: Estimation = Estimation.EXACT,
+    over_margin: float = 0.2,
+    local_highs: Optional[Sequence[float]] = None,
+) -> Optional[FilteringTuple]:
+    """Pick the max-VDR tuple from a local skyline (Section 3.2).
+
+    UNDER mode uses the local maxima ``h_k`` "known to M_i" — pass the
+    device's relation-wide maxima via ``local_highs`` (hybrid storage
+    reads them from its sorted domains in O(1)); the skyline's own maxima
+    are the fallback when only the skyline is at hand.
+
+    Returns None for an empty skyline.
+    """
+    if skyline.cardinality == 0:
+        return None
+    if estimation is Estimation.UNDER and local_highs is None:
+        local_highs = skyline.normalized_worst()
+    if estimation is not Estimation.UNDER:
+        local_highs = None
+    bounds = estimation_bounds(
+        skyline.schema, estimation, local_highs=local_highs, over_margin=over_margin
+    )
+    scores = vdr_matrix(skyline.normalized_values(), bounds)
+    best = int(np.argmax(scores))
+    return FilteringTuple(site=skyline.row(best), vdr=float(scores[best]))
+
+
+def union_dominating_volume(
+    tuples: Sequence[Sequence[float]], bounds: Sequence[float]
+) -> float:
+    """Volume of the union of the dominating regions of ``tuples``.
+
+    All regions share the max corner ``bounds``, so the union volume
+    follows from inclusion-exclusion: the intersection of a subset of
+    regions is the region of their per-attribute elementwise maximum.
+    Exponential in ``len(tuples)`` — intended for the small filter sets
+    of the multi-filter extension (k <= ~6).
+    """
+    tuples = [tuple(t) for t in tuples]
+    if not tuples:
+        return 0.0
+    if len(tuples) > 16:
+        raise ValueError("inclusion-exclusion limited to 16 tuples")
+    total = 0.0
+    for r in range(1, len(tuples) + 1):
+        sign = 1.0 if r % 2 == 1 else -1.0
+        for subset in itertools.combinations(tuples, r):
+            corner = tuple(max(vs) for vs in zip(*subset))
+            total += sign * vdr(corner, bounds)
+    return total
+
+
+def select_filter_set(
+    skyline: Relation,
+    k: int,
+    estimation: Estimation = Estimation.EXACT,
+    over_margin: float = 0.2,
+    local_highs: Optional[Sequence[float]] = None,
+) -> List[FilteringTuple]:
+    """Greedy max-coverage choice of ``k`` filtering tuples (Section 7).
+
+    The first pick is the max-VDR tuple (identical to
+    :func:`select_filter`); each further pick maximizes the marginal gain
+    in union dominating volume. Stops early when no positive gain
+    remains. ``local_highs`` has the same meaning as in
+    :func:`select_filter`.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if skyline.cardinality == 0:
+        return []
+    if estimation is Estimation.UNDER and local_highs is None:
+        local_highs = skyline.normalized_worst()
+    if estimation is not Estimation.UNDER:
+        local_highs = None
+    bounds = estimation_bounds(
+        skyline.schema, estimation, local_highs=local_highs, over_margin=over_margin
+    )
+    values = skyline.normalized_values()
+    chosen: List[int] = []
+    chosen_values: List[Tuple[float, ...]] = []
+    current_volume = 0.0
+    candidates = list(range(skyline.cardinality))
+    for _ in range(min(k, skyline.cardinality)):
+        best_idx = None
+        best_gain = 0.0
+        best_volume = current_volume
+        for idx in candidates:
+            trial = chosen_values + [tuple(values[idx])]
+            volume = union_dominating_volume(trial, bounds)
+            gain = volume - current_volume
+            if gain > best_gain:
+                best_idx, best_gain, best_volume = idx, gain, volume
+        if best_idx is None:
+            break
+        chosen.append(best_idx)
+        chosen_values.append(tuple(values[best_idx]))
+        current_volume = best_volume
+        candidates.remove(best_idx)
+    return [
+        FilteringTuple(site=skyline.row(idx), vdr=vdr(tuple(values[idx]), bounds))
+        for idx in chosen
+    ]

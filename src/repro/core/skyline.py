@@ -1,0 +1,293 @@
+"""Centralized skyline algorithms.
+
+These are the building blocks and baselines of the paper:
+
+* :func:`skyline_bruteforce` — an :math:`O(N^2)` oracle used by the tests.
+* :func:`skyline_bnl` — Block Nested Loops (Börzsönyi et al., ICDE 2001);
+  the paper runs BNL over flat storage as its baseline (Section 5.1).
+* :func:`skyline_sfs` — Sort-Filter-Skyline (Chomicki et al., ICDE 2003);
+  the paper's hybrid-storage local algorithm is an ID-based SFS variant.
+* :func:`skyline_divide_conquer` — the D&C algorithm of Börzsönyi et al.
+* :func:`skyline_numpy` — a vectorised sorted-block engine used to keep the
+  large simulation experiments tractable in Python.
+
+All functions take values **in minimization space** (smaller is better on
+every axis) and return sorted row indices of the skyline members. Use
+:func:`skyline_of_relation` for direction-aware operation on a
+:class:`~repro.storage.relation.Relation`.
+
+Duplicate value vectors: every algorithm here keeps *all* copies of a
+skyline-value vector (no copy dominates another, per the strict dominance
+definition). Cross-device duplicate elimination is a separate concern,
+handled by :mod:`repro.core.assembly` on the query originator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..storage.relation import Relation
+from .dominance import ComparisonCounter
+
+__all__ = [
+    "skyline_bruteforce",
+    "skyline_bnl",
+    "skyline_sfs",
+    "skyline_divide_conquer",
+    "skyline_numpy",
+    "skyline_of_relation",
+    "sfs_sort_order",
+]
+
+
+def _as_matrix(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"values must be a 2-D array, got shape {values.shape}")
+    return values
+
+
+def skyline_bruteforce(values: np.ndarray) -> np.ndarray:
+    """Quadratic oracle: indices of rows not dominated by any other row.
+
+    Used as ground truth in tests; do not call on large inputs.
+    """
+    values = _as_matrix(values)
+    n = values.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        others = values  # compare against all rows, including i (self never dominates)
+        no_worse = (others <= values[i][None, :]).all(axis=1)
+        better = (others < values[i][None, :]).any(axis=1)
+        if (no_worse & better).any():
+            keep[i] = False
+    return np.nonzero(keep)[0].astype(np.int64)
+
+
+def skyline_bnl(
+    values: np.ndarray,
+    counter: Optional[ComparisonCounter] = None,
+) -> np.ndarray:
+    """Block Nested Loops skyline over unsorted data.
+
+    This is the paper's flat-storage baseline: "For the FS scheme, we use
+    the simple BNL algorithm since no multi-dimensional index or sort
+    order is assumed to be available on a mobile device" (Section 5.1).
+
+    The window is kept in memory (mobile relations fit in RAM), so no
+    temp-file passes are needed; the control flow is otherwise BNL's:
+    each input tuple is compared against the window, dominated window
+    entries are evicted, and undominated tuples join the window.
+    """
+    values = _as_matrix(values)
+    n, dims = values.shape
+    window: List[int] = []
+    for i in range(n):
+        v = values[i]
+        dominated = False
+        survivors: List[int] = []
+        for w in window:
+            wv = values[w]
+            if counter is not None:
+                counter.count_value(dims)
+            if _dominates_vec(wv, v):
+                dominated = True
+                survivors = window  # unchanged; v is discarded
+                break
+            if not _dominates_vec(v, wv):
+                survivors.append(w)
+            # else: window tuple wv is dominated by v and is dropped
+        if not dominated:
+            survivors.append(i)
+            window = survivors
+    return np.asarray(sorted(window), dtype=np.int64)
+
+
+def _dominates_vec(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool((a <= b).all() and (a < b).any())
+
+
+def sfs_sort_order(values: np.ndarray) -> np.ndarray:
+    """Return the SFS scan order: ascending attribute sum, full
+    lexicographic column order as tie-break.
+
+    Sorting by a monotone scoring function guarantees that no tuple can be
+    dominated by a tuple appearing later in the scan, which is what lets
+    SFS keep only confirmed skyline members in its window. Floating-point
+    sums can *collapse* (``1 + 1e-190`` rounds to ``1``) but never invert
+    the order of a dominator and its victim (rounding is monotone), so
+    breaking sum ties lexicographically over all attributes restores a
+    strictly dominance-monotone order.
+    """
+    values = _as_matrix(values)
+    scores = values.sum(axis=1)
+    # lexsort: last key is primary, so pass columns in reverse, then the
+    # score last.
+    keys = tuple(values[:, j] for j in range(values.shape[1] - 1, -1, -1))
+    return np.lexsort(keys + (scores,)).astype(np.int64)
+
+
+def skyline_sfs(
+    values: np.ndarray,
+    counter: Optional[ComparisonCounter] = None,
+    presorted: bool = False,
+) -> np.ndarray:
+    """Sort-Filter-Skyline.
+
+    After sorting by a monotone score, a single scan suffices: each tuple is
+    compared against the (already confirmed) window; undominated tuples are
+    skyline members. ``presorted=True`` skips the sort for storage schemes
+    that maintain a sorted order (the paper's hybrid storage keeps the
+    relation sorted on its widest attribute, Section 4.2).
+    """
+    values = _as_matrix(values)
+    n, dims = values.shape
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.arange(n, dtype=np.int64) if presorted else sfs_sort_order(values)
+    window: List[int] = []
+    for idx in order:
+        v = values[idx]
+        dominated = False
+        for w in window:
+            if counter is not None:
+                counter.count_value(dims)
+            if _dominates_vec(values[w], v):
+                dominated = True
+                break
+        if not dominated:
+            window.append(int(idx))
+    return np.asarray(sorted(window), dtype=np.int64)
+
+
+def skyline_divide_conquer(
+    values: np.ndarray,
+    threshold: int = 64,
+) -> np.ndarray:
+    """Divide-and-Conquer skyline (Börzsönyi et al., ICDE 2001).
+
+    Recursively splits on the median of the first dimension, computes the
+    partial skylines, and merges by removing members of the "worse" half
+    dominated by the "better" half. Falls back to BNL below ``threshold``.
+    """
+    values = _as_matrix(values)
+    n = values.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    indices = np.arange(n, dtype=np.int64)
+    result = _dc_recurse(values, indices, threshold)
+    return np.asarray(sorted(int(i) for i in result), dtype=np.int64)
+
+
+def _dc_recurse(
+    values: np.ndarray, indices: np.ndarray, threshold: int
+) -> np.ndarray:
+    if indices.shape[0] <= threshold:
+        local = skyline_bnl(values[indices])
+        return indices[local]
+    sub = values[indices, 0]
+    median = np.median(sub)
+    low_mask = sub <= median
+    # Degenerate split (many equal values): fall back to BNL.
+    if low_mask.all() or not low_mask.any():
+        local = skyline_bnl(values[indices])
+        return indices[local]
+    low = _dc_recurse(values, indices[low_mask], threshold)
+    high = _dc_recurse(values, indices[~low_mask], threshold)
+    if low.shape[0] == 0:
+        return high
+    keep_high = []
+    low_vals = values[low]
+    for idx in high:
+        v = values[idx]
+        no_worse = (low_vals <= v[None, :]).all(axis=1)
+        better = (low_vals < v[None, :]).any(axis=1)
+        if not (no_worse & better).any():
+            keep_high.append(idx)
+    return np.concatenate([low, np.asarray(keep_high, dtype=np.int64)])
+
+
+def skyline_numpy(values: np.ndarray, block: int = 256) -> np.ndarray:
+    """Vectorised sorted-block skyline — the fast engine.
+
+    Tuples are scanned in SFS order in blocks; each block is first reduced
+    against the confirmed skyline with one broadcast comparison, then the
+    survivors are resolved within the block. Output matches the other
+    algorithms exactly; the only difference is wall-clock speed, which is
+    what makes anti-correlated workloads (large skylines) tractable for
+    the simulation experiments.
+    """
+    values = _as_matrix(values)
+    n = values.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    order = sfs_sort_order(values)
+    sky_idx: List[np.ndarray] = []
+    sky_vals = np.empty((0, values.shape[1]), dtype=np.float64)
+    for start in range(0, n, block):
+        chunk_idx = order[start : start + block]
+        chunk = values[chunk_idx]
+        if sky_vals.shape[0]:
+            # (S, 1, d) vs (1, C, d): does any skyline row dominate each chunk row?
+            no_worse = (sky_vals[:, None, :] <= chunk[None, :, :]).all(axis=2)
+            better = (sky_vals[:, None, :] < chunk[None, :, :]).any(axis=2)
+            dominated = (no_worse & better).any(axis=0)
+            chunk_idx = chunk_idx[~dominated]
+            chunk = chunk[~dominated]
+        if chunk.shape[0] == 0:
+            continue
+        # Resolve dominance within the chunk (scan order is SFS order, so
+        # only earlier rows can dominate later ones).
+        local = skyline_sfs(chunk, presorted=True)
+        chunk_idx = chunk_idx[local]
+        chunk = chunk[local]
+        sky_idx.append(chunk_idx)
+        sky_vals = np.vstack([sky_vals, chunk])
+    if not sky_idx:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(sky_idx)).astype(np.int64)
+
+
+_ALGORITHMS = {
+    "bruteforce": skyline_bruteforce,
+    "bnl": skyline_bnl,
+    "sfs": skyline_sfs,
+    "dc": skyline_divide_conquer,
+    "numpy": skyline_numpy,
+}
+
+
+def skyline_of_relation(
+    relation: Relation,
+    algorithm: str = "numpy",
+    counter: Optional[ComparisonCounter] = None,
+) -> Relation:
+    """Skyline of a relation, honouring per-attribute preferences.
+
+    Args:
+        relation: Input relation.
+        algorithm: One of ``bruteforce``, ``bnl``, ``sfs``, ``dc``,
+            ``numpy``.
+        counter: Optional comparison counter (honoured by ``bnl``/``sfs``).
+
+    Returns:
+        A new relation containing exactly the skyline tuples.
+    """
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+        )
+    if relation.cardinality == 0:
+        return relation
+    values = relation.normalized_values()
+    if algorithm in ("bnl", "sfs"):
+        idx = _ALGORITHMS[algorithm](values, counter=counter)
+    else:
+        idx = _ALGORITHMS[algorithm](values)
+    return relation.take(idx)

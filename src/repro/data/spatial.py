@@ -1,0 +1,100 @@
+"""Spatial placement of sites and distance utilities.
+
+The paper distributes all tuples "randomly within a 1000 x 1000 spatial
+domain" (Section 5.2.1). Sites must have pairwise-distinct locations
+because duplicate elimination keys on ``(x, y)`` (Section 4.3); the
+generator enforces this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "uniform_positions",
+    "mindist_point_rect",
+    "point_in_rect",
+    "rect_overlaps_circle",
+]
+
+
+def uniform_positions(
+    n: int,
+    extent: Tuple[float, float, float, float],
+    rng: Optional[np.random.Generator] = None,
+    ensure_distinct: bool = True,
+) -> np.ndarray:
+    """``(n, 2)`` uniform random positions within ``extent``.
+
+    Args:
+        n: Number of positions.
+        extent: ``(x_min, y_min, x_max, y_max)``.
+        rng: Numpy generator (defaults to a fresh one).
+        ensure_distinct: Re-draw colliding positions so every site has a
+            unique location.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    x_min, y_min, x_max, y_max = extent
+    if not (x_min < x_max and y_min < y_max):
+        raise ValueError(f"degenerate extent {extent}")
+    rng = rng if rng is not None else np.random.default_rng()
+    pts = np.column_stack(
+        [
+            rng.uniform(x_min, x_max, size=n),
+            rng.uniform(y_min, y_max, size=n),
+        ]
+    )
+    if ensure_distinct and n > 1:
+        for _ in range(32):
+            _, first = np.unique(pts, axis=0, return_index=True)
+            dup_mask = np.ones(n, dtype=bool)
+            dup_mask[first] = False
+            count = int(dup_mask.sum())
+            if count == 0:
+                break
+            pts[dup_mask] = np.column_stack(
+                [
+                    rng.uniform(x_min, x_max, size=count),
+                    rng.uniform(y_min, y_max, size=count),
+                ]
+            )
+    return pts
+
+
+def mindist_point_rect(
+    pos: Tuple[float, float], rect: Tuple[float, float, float, float]
+) -> float:
+    """Minimum Euclidean distance from ``pos`` to rectangle ``rect``.
+
+    This is the ``mindist(pos_org, MBR_i)`` test in the local skyline
+    algorithm (Figure 4): a device whose data MBR is farther than ``d``
+    from the query position can skip processing entirely.
+    """
+    x, y = pos
+    x_min, y_min, x_max, y_max = rect
+    dx = max(x_min - x, 0.0, x - x_max)
+    dy = max(y_min - y, 0.0, y - y_max)
+    return math.hypot(dx, dy)
+
+
+def point_in_rect(
+    pos: Tuple[float, float], rect: Tuple[float, float, float, float]
+) -> bool:
+    """True iff ``pos`` lies inside (or on the border of) ``rect``."""
+    x, y = pos
+    x_min, y_min, x_max, y_max = rect
+    return x_min <= x <= x_max and y_min <= y <= y_max
+
+
+def rect_overlaps_circle(
+    rect: Tuple[float, float, float, float],
+    center: Tuple[float, float],
+    radius: float,
+) -> bool:
+    """True iff ``rect`` intersects the disk of ``radius`` around
+    ``center`` — the query-region overlap test."""
+    return mindist_point_rect(center, rect) <= radius

@@ -1,0 +1,82 @@
+"""Query workload generation for the simulation experiments.
+
+"Every mobile device issues 1 to 5 queries at random times during the
+simulation. Queries of different devices can coexist, while a single
+device does not issue a new query if it has one in progress"
+(Section 5.2.1). The workload generator schedules *intended* issue times;
+the coordinator enforces the one-in-progress rule at run time by delaying
+or dropping overlapping requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QueryRequest", "generate_workload", "single_query_workload"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """An intended query issue: device, time, and distance of interest."""
+
+    device: int
+    time: float
+    distance: float
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ValueError("device index must be >= 0")
+        if self.time < 0:
+            raise ValueError("issue time must be >= 0")
+        if self.distance <= 0:
+            raise ValueError("query distance must be > 0")
+
+
+def generate_workload(
+    devices: int,
+    sim_time: float,
+    distance: float,
+    queries_per_device: Tuple[int, int] = (1, 5),
+    seed: Optional[int] = None,
+) -> List[QueryRequest]:
+    """Schedule 1-5 queries per device at uniform random times.
+
+    Args:
+        devices: Number of devices ``m``.
+        sim_time: Total simulated duration (the paper uses 2 h = 7200 s).
+        distance: Distance of interest ``d`` used by every query in the
+            run (the paper sweeps ``d`` across runs, not within one).
+        queries_per_device: Inclusive ``(min, max)`` per-device counts.
+        seed: RNG seed.
+
+    Returns:
+        Requests sorted by issue time.
+    """
+    if devices < 1:
+        raise ValueError("need at least one device")
+    if sim_time <= 0:
+        raise ValueError("sim_time must be > 0")
+    lo, hi = queries_per_device
+    if not 0 <= lo <= hi:
+        raise ValueError(f"bad queries_per_device range {queries_per_device}")
+    rng = np.random.default_rng(seed)
+    requests: List[QueryRequest] = []
+    for device in range(devices):
+        count = int(rng.integers(lo, hi + 1))
+        times = np.sort(rng.uniform(0.0, sim_time, size=count))
+        for t in times:
+            requests.append(
+                QueryRequest(device=device, time=float(t), distance=distance)
+            )
+    requests.sort(key=lambda r: (r.time, r.device))
+    return requests
+
+
+def single_query_workload(
+    originator: int, distance: float, time: float = 0.0
+) -> List[QueryRequest]:
+    """A workload with exactly one query — used by focused tests."""
+    return [QueryRequest(device=originator, time=time, distance=distance)]

@@ -1,0 +1,20 @@
+"""Device substrate: calibrated PDA cost model and energy accounting."""
+
+from .cost_model import (
+    PDA_2006,
+    DeviceCostModel,
+    calibrate,
+    calibrate_from_wall_time,
+    estimate_comparisons,
+)
+from .energy import EnergyMeter, EnergyModel
+
+__all__ = [
+    "PDA_2006",
+    "DeviceCostModel",
+    "EnergyMeter",
+    "EnergyModel",
+    "calibrate",
+    "calibrate_from_wall_time",
+    "estimate_comparisons",
+]

@@ -1,0 +1,82 @@
+"""Experiment harness: one module per figure family of Section 5."""
+
+from .config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
+from .local_processing import figure_5a, figure_5b, measure_local_time
+from .manet_common import ManetPoint, clear_run_cache, run_manet_point
+from .manet_drr import (
+    figure_8a,
+    figure_8b,
+    figure_8c,
+    figure_9a,
+    figure_9b,
+    figure_9c,
+    manet_panel,
+)
+from .message_count import figure_12
+from .response_time import (
+    figure_10a,
+    figure_10b,
+    figure_10c,
+    figure_11a,
+    figure_11b,
+    figure_11c,
+)
+from .plotting import ascii_plot
+from .report import markdown_report, markdown_table
+from .runner import FigureResult, Series, render_table
+from .sensitivity import cpu_sweep, radio_range_sweep, speed_sweep
+from .static_drr import (
+    figure_6a,
+    figure_6b,
+    figure_6c,
+    figure_7a,
+    figure_7b,
+    figure_7c,
+    static_drr_series,
+    static_panel,
+)
+
+__all__ = [
+    "DEFAULT",
+    "ExperimentScale",
+    "FigureResult",
+    "ManetPoint",
+    "PAPER",
+    "SMOKE",
+    "Series",
+    "ascii_plot",
+    "clear_run_cache",
+    "cpu_sweep",
+    "figure_5a",
+    "figure_5b",
+    "figure_6a",
+    "figure_6b",
+    "figure_6c",
+    "figure_7a",
+    "figure_7b",
+    "figure_7c",
+    "figure_8a",
+    "figure_8b",
+    "figure_8c",
+    "figure_9a",
+    "figure_9b",
+    "figure_9c",
+    "figure_10a",
+    "figure_10b",
+    "figure_10c",
+    "figure_11a",
+    "figure_11b",
+    "figure_11c",
+    "figure_12",
+    "get_scale",
+    "manet_panel",
+    "markdown_report",
+    "markdown_table",
+    "measure_local_time",
+    "radio_range_sweep",
+    "render_table",
+    "run_manet_point",
+    "speed_sweep",
+    "static_drr_series",
+    "static_panel",
+]

@@ -1,0 +1,108 @@
+"""Figures 8 and 9 — DRR in the MANET simulation (Section 5.2.2-II).
+
+Series: DF and BF query forwarding, each at query distances 100, 250,
+and 500 (the paper's legend, e.g. "DF-100"). Figure 8 uses independent
+data, Figure 9 anti-correlated data. Panels sweep (a) cardinality,
+(b) dimensionality, (c) device count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .config import DEFAULT, ExperimentScale
+from .manet_common import ManetPoint, run_manet_point, sweep_points
+from .runner import FigureResult
+
+__all__ = ["manet_panel", "figure_8a", "figure_8b", "figure_8c",
+           "figure_9a", "figure_9b", "figure_9c"]
+
+
+def manet_panel(
+    panel: str,
+    distribution: str,
+    metric: str,
+    scale: ExperimentScale = DEFAULT,
+) -> FigureResult:
+    """One MANET panel for a chosen metric.
+
+    Args:
+        panel: ``a`` / ``b`` / ``c`` sweep.
+        distribution: ``independent`` or ``anticorrelated``.
+        metric: ``drr`` (Figures 8/9), ``response`` (Figures 10/11), or
+            ``messages`` (Figure 12's per-query protocol count).
+        scale: Parameter grids.
+    """
+    if metric not in ("drr", "response", "messages"):
+        raise ValueError(f"unknown metric {metric!r}")
+    x_label, x_values, points = sweep_points(panel, distribution, scale)
+    fig = {
+        ("drr", "independent"): "8",
+        ("drr", "anticorrelated"): "9",
+        ("response", "independent"): "10",
+        ("response", "anticorrelated"): "11",
+    }.get((metric, distribution), "12")
+    result = FigureResult(
+        figure=f"Figure {fig}({panel})",
+        title=f"MANET {metric} on {distribution} data vs. {x_label}",
+        x_label=x_label,
+        x_values=x_values,
+        notes=(
+            f"scale={scale.name}; UNE + dynamic filter; random waypoint + AODV"
+        ),
+    )
+    for strategy in ("df", "bf"):
+        for distance in scale.query_distances:
+            values: List[Optional[float]] = []
+            for i, (cardinality, dims, devices) in enumerate(points):
+                metrics = run_manet_point(
+                    ManetPoint(
+                        strategy=strategy,
+                        distance=distance,
+                        cardinality=cardinality,
+                        dimensions=dims,
+                        devices=devices,
+                        distribution=distribution,
+                        scale_name=scale.name,
+                        seed=scale.seed + 1000 * i,
+                    ),
+                    scale,
+                )
+                if metric == "drr":
+                    values.append(metrics.drr)
+                elif metric == "response":
+                    values.append(metrics.response_time)
+                else:
+                    values.append(metrics.messages.protocol_per_query)
+            result.add_series(f"{strategy.upper()}-{int(distance)}", values)
+    return result
+
+
+def figure_8a(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """MANET DRR vs. cardinality, independent data."""
+    return manet_panel("a", "independent", "drr", scale)
+
+
+def figure_8b(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """MANET DRR vs. dimensionality, independent data."""
+    return manet_panel("b", "independent", "drr", scale)
+
+
+def figure_8c(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """MANET DRR vs. device count, independent data."""
+    return manet_panel("c", "independent", "drr", scale)
+
+
+def figure_9a(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """MANET DRR vs. cardinality, anti-correlated data."""
+    return manet_panel("a", "anticorrelated", "drr", scale)
+
+
+def figure_9b(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """MANET DRR vs. dimensionality, anti-correlated data."""
+    return manet_panel("b", "anticorrelated", "drr", scale)
+
+
+def figure_9c(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """MANET DRR vs. device count, anti-correlated data."""
+    return manet_panel("c", "anticorrelated", "drr", scale)

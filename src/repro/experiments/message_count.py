@@ -1,0 +1,56 @@
+"""Figure 12 — query message count vs. number of mobile devices.
+
+"In the simulation we found that the cardinality, the dimensionality,
+and the distribution have little impact on the message count. Therefore,
+we only show ... how the message count varies as the number of mobile
+devices increases" (Section 5.2.4). Series: BF and DF, protocol frames
+per query, at the middle query distance (250).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .config import DEFAULT, ExperimentScale
+from .manet_common import ManetPoint, run_manet_point, sweep_points
+from .runner import FigureResult
+
+__all__ = ["figure_12"]
+
+
+def figure_12(
+    scale: ExperimentScale = DEFAULT,
+    distance: float = 250.0,
+    distribution: str = "independent",
+) -> FigureResult:
+    """Per-query protocol message count vs. device count, BF vs DF."""
+    x_label, x_values, points = sweep_points("c", distribution, scale)
+    result = FigureResult(
+        figure="Figure 12",
+        title="Query message count vs. number of mobile devices",
+        x_label=x_label,
+        x_values=x_values,
+        notes=(
+            f"scale={scale.name}; protocol frames per issued query at "
+            f"d={int(distance)}; AODV control frames excluded"
+        ),
+    )
+    for strategy in ("bf", "df"):
+        values: List[Optional[float]] = []
+        for i, (cardinality, dims, devices) in enumerate(points):
+            metrics = run_manet_point(
+                ManetPoint(
+                    strategy=strategy,
+                    distance=distance,
+                    cardinality=cardinality,
+                    dimensions=dims,
+                    devices=devices,
+                    distribution=distribution,
+                    scale_name=scale.name,
+                    seed=scale.seed + 1000 * i,
+                ),
+                scale,
+            )
+            values.append(metrics.messages.protocol_per_query)
+        result.add_series(strategy.upper(), values)
+    return result

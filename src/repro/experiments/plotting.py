@@ -1,0 +1,111 @@
+"""Terminal plotting for figure results.
+
+The evaluation runs in headless environments, so the CLI can render each
+:class:`~repro.experiments.runner.FigureResult` as an ASCII line chart —
+enough to eyeball the trends the paper's figures show (who wins, which
+way the curves bend) without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .runner import FigureResult
+
+__all__ = ["ascii_plot"]
+
+#: Distinct glyphs assigned to series in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render a figure panel as an ASCII chart.
+
+    Args:
+        result: The panel to draw.
+        width: Plot area width in characters.
+        height: Plot area height in rows.
+
+    Returns:
+        A multi-line string: title, chart, x-axis, and a legend.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small (need width >= 8, height >= 4)")
+    points: List[tuple] = []  # (col, row, glyph-index)
+    ys: List[float] = []
+    for s_idx, series in enumerate(result.series):
+        for x_idx, value in enumerate(series.values):
+            if value is None:
+                continue
+            ys.append(float(value))
+    if not ys:
+        return f"{result.figure}: {result.title}\n  (no data)"
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    n_x = len(result.x_values)
+
+    def col_of(x_idx: int) -> int:
+        if n_x == 1:
+            return width // 2
+        return round(x_idx * (width - 1) / (n_x - 1))
+
+    def row_of(value: float) -> int:
+        frac = (value - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, series in enumerate(result.series):
+        glyph = _GLYPHS[s_idx % len(_GLYPHS)]
+        previous: Optional[tuple] = None
+        for x_idx, value in enumerate(series.values):
+            if value is None:
+                previous = None
+                continue
+            col, row = col_of(x_idx), row_of(float(value))
+            if previous is not None:
+                _draw_segment(grid, previous, (col, row), ".")
+            grid[row][col] = glyph
+            previous = (col, row)
+
+    lines = [f"{result.figure}: {result.title}"]
+    label_top = _fmt(y_max)
+    label_bottom = _fmt(y_min)
+    margin = max(len(label_top), len(label_bottom))
+    for r, row in enumerate(grid):
+        label = label_top if r == 0 else label_bottom if r == height - 1 else ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    first_x, last_x = _fmt(result.x_values[0]), _fmt(result.x_values[-1])
+    axis = " " * margin + "  " + first_x
+    pad = width - len(first_x) - len(last_x)
+    axis += " " * max(pad, 1) + last_x
+    lines.append(axis)
+    lines.append(
+        " " * margin + "  " + result.x_label + "   legend: " + ", ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]}={s.name}"
+            for i, s in enumerate(result.series)
+        )
+    )
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, a, b, glyph: str) -> None:
+    """Light interpolation dots between consecutive points of a series."""
+    (c0, r0), (c1, r1) = a, b
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    for step in range(1, steps):
+        col = round(c0 + (c1 - c0) * step / steps)
+        row = round(r0 + (r1 - r0) * step / steps)
+        if grid[row][col] == " ":
+            grid[row][col] = glyph
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

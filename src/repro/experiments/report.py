@@ -1,0 +1,59 @@
+"""Markdown report generation for experiment results.
+
+``python -m repro all --scale default --output report.md`` regenerates
+every figure and writes the results as a markdown document — the same
+content EXPERIMENTS.md is built from, so reruns on other machines can be
+diffed against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .runner import FigureResult
+
+__all__ = ["markdown_table", "markdown_report"]
+
+
+def markdown_table(result: FigureResult, precision: int = 4) -> str:
+    """One figure panel as a markdown table."""
+    header = [result.x_label] + [s.name for s in result.series]
+    lines = [
+        f"### {result.figure} — {result.title}",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for i, x in enumerate(result.x_values):
+        row = [_fmt(x, precision)] + [
+            _fmt(s.values[i], precision) for s in result.series
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    return "\n".join(lines)
+
+
+def markdown_report(
+    results: Sequence[FigureResult],
+    title: str = "Measured results",
+    preamble: str = "",
+) -> str:
+    """A full markdown document for a batch of figure results."""
+    lines = [f"# {title}", ""]
+    if preamble:
+        lines.extend([preamble, ""])
+    for result in results:
+        lines.append(markdown_table(result))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value, precision: int) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)

@@ -1,0 +1,46 @@
+"""Figures 10 and 11 — response time in the MANET simulation.
+
+BF response time is the 80%-quorum arrival time; DF's is the token's
+round trip (Section 5.2.3). Response time includes both the wireless
+transfer delays from the network simulation and the modelled local
+processing time on each device — exactly the paper's composition.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT, ExperimentScale
+from .manet_drr import manet_panel
+from .runner import FigureResult
+
+__all__ = ["figure_10a", "figure_10b", "figure_10c",
+           "figure_11a", "figure_11b", "figure_11c"]
+
+
+def figure_10a(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """Response time vs. cardinality, independent data."""
+    return manet_panel("a", "independent", "response", scale)
+
+
+def figure_10b(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """Response time vs. dimensionality, independent data."""
+    return manet_panel("b", "independent", "response", scale)
+
+
+def figure_10c(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """Response time vs. device count, independent data."""
+    return manet_panel("c", "independent", "response", scale)
+
+
+def figure_11a(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """Response time vs. cardinality, anti-correlated data."""
+    return manet_panel("a", "anticorrelated", "response", scale)
+
+
+def figure_11b(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """Response time vs. dimensionality, anti-correlated data."""
+    return manet_panel("b", "anticorrelated", "response", scale)
+
+
+def figure_11c(scale: ExperimentScale = DEFAULT) -> FigureResult:
+    """Response time vs. device count, anti-correlated data."""
+    return manet_panel("c", "anticorrelated", "response", scale)

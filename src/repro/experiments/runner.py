@@ -1,0 +1,103 @@
+"""Shared experiment plumbing: result tables and rendering.
+
+Every figure module produces a :class:`FigureResult` — the series the
+paper plots, as numbers — and the CLI / benchmarks render them as text
+tables. Keeping results structured (instead of printing ad hoc) lets the
+benchmark suite assert the qualitative shapes the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "FigureResult", "render_table"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a name and a y-value per x grid point."""
+
+    name: str
+    values: List[Optional[float]]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("series name must be non-empty")
+
+
+@dataclass
+class FigureResult:
+    """All data behind one figure panel.
+
+    Attributes:
+        figure: Paper artifact id, e.g. ``"Figure 6(a)"``.
+        title: Human-readable description.
+        x_label: Name of the swept parameter.
+        x_values: The sweep grid.
+        series: One :class:`Series` per plotted line.
+        notes: Anything a reader should know (scale reductions, etc.).
+    """
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: List
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def add_series(self, name: str, values: Sequence[Optional[float]]) -> None:
+        """Append one series, validating its length against the grid."""
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but the grid "
+                f"has {len(self.x_values)}"
+            )
+        self.series.append(Series(name=name, values=values))
+
+    def get(self, name: str) -> List[Optional[float]]:
+        """Values of the series called ``name``."""
+        for s in self.series:
+            if s.name == name:
+                return s.values
+        raise KeyError(
+            f"no series {name!r}; have {[s.name for s in self.series]}"
+        )
+
+    def render(self) -> str:
+        """Aligned text table of the panel."""
+        return render_table(self)
+
+
+def render_table(result: FigureResult, precision: int = 4) -> str:
+    """Format a :class:`FigureResult` as an aligned text table."""
+    header = [result.x_label] + [s.name for s in result.series]
+    rows: List[List[str]] = []
+    for i, x in enumerate(result.x_values):
+        row = [_fmt(x, precision)]
+        for s in result.series:
+            row.append(_fmt(s.values[i], precision))
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [
+        f"{result.figure}: {result.title}",
+        "  " + "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  " + "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  " + "  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def _fmt(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)

@@ -1,0 +1,162 @@
+"""Sensitivity analyses beyond the paper's grids.
+
+The paper fixes the radio parameters, device speed, and device CPU
+class. These sweeps ask how robust its conclusions are to each:
+
+* :func:`radio_range_sweep` — connectivity is the lifeblood of both
+  strategies; short ranges partition the network, long ranges make BF's
+  flood cheap.
+* :func:`speed_sweep` — faster devices break more routes mid-query.
+* :func:`cpu_sweep` — BF's advantage rests on parallelizing *slow* local
+  processing; on fast CPUs the network dominates and the gap narrows.
+
+Each returns a :class:`~repro.experiments.runner.FigureResult` so the
+CLI/report tooling applies unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..core.filtering import Estimation
+from ..data.partition import make_global_dataset
+from ..data.workload import generate_workload
+from ..devices.cost_model import PDA_2006, calibrate
+from ..metrics.collector import collect_metrics
+from ..net.mobility import RandomWaypoint
+from ..net.world import RadioConfig
+from ..protocol.coordinator import SimulationConfig, run_manet_simulation
+from ..protocol.device import ProtocolConfig
+from .config import DEFAULT, ExperimentScale
+from .runner import FigureResult
+
+__all__ = ["radio_range_sweep", "speed_sweep", "cpu_sweep"]
+
+
+def _run(
+    scale: ExperimentScale,
+    strategy: str,
+    radio: Optional[RadioConfig] = None,
+    speed_range=None,
+    slowdown: float = 1.0,
+    seed: int = 0,
+):
+    dataset = make_global_dataset(
+        scale.manet_fixed_cardinality, 2, scale.manet_devices,
+        "independent", seed=scale.seed + seed, value_step=scale.value_step,
+    )
+    workload = generate_workload(
+        scale.manet_devices, scale.sim_time, 250.0,
+        scale.queries_per_device, seed=scale.seed + seed + 1,
+    )
+    protocol = ProtocolConfig(
+        estimation=Estimation.UNDER,
+        cost_model=calibrate(PDA_2006, slowdown=slowdown),
+    )
+    config = SimulationConfig(
+        strategy=strategy,
+        sim_time=scale.sim_time,
+        radio=radio if radio is not None else RadioConfig(),
+        protocol=protocol,
+        speed_range=speed_range if speed_range is not None else (2.0, 10.0),
+        seed=scale.seed + seed + 2,
+    )
+    result = run_manet_simulation(dataset, workload, config)
+    return collect_metrics(result, strategy)
+
+
+def radio_range_sweep(
+    ranges: Sequence[float] = (150.0, 250.0, 400.0),
+    scale: ExperimentScale = DEFAULT,
+    metric: str = "response",
+) -> FigureResult:
+    """BF vs DF across radio ranges.
+
+    Short ranges fragment the network (fewer participants, partial
+    results); long ranges collapse hop counts.
+    """
+    result = FigureResult(
+        figure="Sensitivity: radio range",
+        title=f"{metric} vs. radio range (m)",
+        x_label="radio range",
+        x_values=list(ranges),
+        notes=f"scale={scale.name}",
+    )
+    for strategy in ("bf", "df"):
+        values: List[Optional[float]] = []
+        for i, radio_range in enumerate(ranges):
+            metrics = _run(
+                scale, strategy,
+                radio=RadioConfig(radio_range=radio_range),
+                seed=10_000 + i,
+            )
+            values.append(_pick(metrics, metric))
+        result.add_series(strategy.upper(), values)
+    return result
+
+
+def speed_sweep(
+    speeds: Sequence[float] = (2.0, 10.0, 30.0),
+    scale: ExperimentScale = DEFAULT,
+    metric: str = "participants",
+) -> FigureResult:
+    """BF vs DF across device speeds (max of a 1:5 speed band)."""
+    result = FigureResult(
+        figure="Sensitivity: device speed",
+        title=f"{metric} vs. max device speed (m/s)",
+        x_label="max speed",
+        x_values=list(speeds),
+        notes=f"scale={scale.name}; speed band = [max/5, max]",
+    )
+    for strategy in ("bf", "df"):
+        values: List[Optional[float]] = []
+        for i, vmax in enumerate(speeds):
+            metrics = _run(
+                scale, strategy,
+                speed_range=(vmax / 5.0, vmax),
+                seed=20_000 + i,
+            )
+            values.append(_pick(metrics, metric))
+        result.add_series(strategy.upper(), values)
+    return result
+
+
+def cpu_sweep(
+    slowdowns: Sequence[float] = (0.1, 1.0, 10.0),
+    scale: ExperimentScale = DEFAULT,
+    metric: str = "response",
+) -> FigureResult:
+    """BF vs DF across device CPU classes.
+
+    ``slowdown=1`` is the 2006 PDA; 0.1 a device ten times faster; 10 a
+    sensor-class device ten times slower. The BF-over-DF response-time
+    ratio should *grow* with slowdown — parallelism pays the most when
+    local processing dominates.
+    """
+    result = FigureResult(
+        figure="Sensitivity: device CPU",
+        title=f"{metric} vs. CPU slowdown factor",
+        x_label="slowdown",
+        x_values=list(slowdowns),
+        notes=f"scale={scale.name}; 1.0 = the paper's PDA",
+    )
+    for strategy in ("bf", "df"):
+        values: List[Optional[float]] = []
+        for i, slowdown in enumerate(slowdowns):
+            metrics = _run(scale, strategy, slowdown=slowdown, seed=30_000 + i)
+            values.append(_pick(metrics, metric))
+        result.add_series(strategy.upper(), values)
+    return result
+
+
+def _pick(metrics, metric: str):
+    if metric == "response":
+        return metrics.response_time
+    if metric == "drr":
+        return metrics.drr
+    if metric == "messages":
+        return metrics.messages.protocol_per_query
+    if metric == "participants":
+        return metrics.participants_per_query
+    raise ValueError(f"unknown metric {metric!r}")

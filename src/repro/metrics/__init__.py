@@ -1,0 +1,18 @@
+"""Metrics: DRR (Formula 1), response time, and message counts."""
+
+from .collector import RunMetrics, collect_metrics
+from .drr import data_reduction_rate, drr_of_pairs
+from .messages import MessageCounts, messages_per_query
+from .response import bf_response_time, df_response_time, mean_response_time
+
+__all__ = [
+    "MessageCounts",
+    "RunMetrics",
+    "bf_response_time",
+    "collect_metrics",
+    "data_reduction_rate",
+    "df_response_time",
+    "drr_of_pairs",
+    "mean_response_time",
+    "messages_per_query",
+]

@@ -1,0 +1,69 @@
+"""Run-level metric aggregation.
+
+Turns a :class:`~repro.protocol.coordinator.SimulationResult` into the
+numbers the paper's figures plot: pooled DRR, mean response time (by the
+strategy's own completion rule), and per-query message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..protocol.coordinator import SimulationResult
+from .drr import data_reduction_rate
+from .messages import MessageCounts, messages_per_query
+from .response import bf_response_time, df_response_time, mean_response_time
+
+__all__ = ["RunMetrics", "collect_metrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The headline numbers of one simulation run."""
+
+    strategy: str
+    drr: Optional[float]
+    response_time: Optional[float]
+    messages: MessageCounts
+    issued: int
+    suppressed: int
+    completed: int
+    participants_per_query: Optional[float]
+
+
+def collect_metrics(
+    result: SimulationResult, strategy: str, quorum: float = 0.8
+) -> RunMetrics:
+    """Aggregate one run.
+
+    Args:
+        result: The simulation output.
+        strategy: ``bf`` or ``df`` — selects the response-time rule.
+        quorum: BF's arrival quorum (paper: 0.8).
+    """
+    if strategy not in ("bf", "df"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    drr = data_reduction_rate(result.records)
+    if strategy == "bf":
+        times = [
+            bf_response_time(r, result.devices, quorum) for r in result.records
+        ]
+    else:
+        times = [df_response_time(r) for r in result.records]
+    response = mean_response_time(times)
+    participants = None
+    if result.records:
+        participants = sum(
+            len(r.contributions) for r in result.records
+        ) / len(result.records)
+    return RunMetrics(
+        strategy=strategy,
+        drr=drr,
+        response_time=response,
+        messages=messages_per_query(result.traffic, result.issued),
+        issued=result.issued,
+        suppressed=result.suppressed,
+        completed=len(result.completed),
+        participants_per_query=participants,
+    )

@@ -1,0 +1,58 @@
+"""Response time metrics (Section 5.2.3).
+
+BF: "the elapsed time from the moment that a query is issued at a mobile
+device M_org to the moment that 80% of the other devices in the network
+have sent back results" — in an ad hoc network not every device is
+always reachable, so completion is a quorum, not unanimity.
+
+DF: "a query ends when the originator receives the result and finds that
+all its neighbors have processed the query."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = ["bf_response_time", "df_response_time", "mean_response_time"]
+
+
+def bf_response_time(
+    record, total_devices: int, quorum: float = 0.8
+) -> Optional[float]:
+    """BF response time of one query under the 80% rule.
+
+    Args:
+        record: A :class:`~repro.protocol.device.QueryRecord`.
+        total_devices: ``m``, the network size.
+        quorum: Fraction of the *other* ``m - 1`` devices whose results
+            must have arrived.
+
+    Returns:
+        Seconds from issue to the quorum-th arrival, or None if the
+        quorum was never reached before the query closed.
+    """
+    if not 0 < quorum <= 1:
+        raise ValueError("quorum must be in (0, 1]")
+    if total_devices < 2:
+        return 0.0
+    needed = math.ceil(quorum * (total_devices - 1))
+    arrivals = record.arrival_times()
+    if len(arrivals) < needed:
+        return None
+    return arrivals[needed - 1] - record.issue_time
+
+
+def df_response_time(record) -> Optional[float]:
+    """DF response time of one query: issue to traversal completion."""
+    if record.completion_time is None:
+        return None
+    return record.completion_time - record.issue_time
+
+
+def mean_response_time(times: Sequence[Optional[float]]) -> Optional[float]:
+    """Mean over the queries that did complete (None entries skipped)."""
+    finished: List[float] = [t for t in times if t is not None]
+    if not finished:
+        return None
+    return sum(finished) / len(finished)

@@ -1,0 +1,50 @@
+"""MANET substrate: event engine, mobility, radio world, AODV routing."""
+
+from .aodv import AodvConfig, AodvRouter, DataPacket, Route
+from .engine import EventHandle, Process, Simulator
+from .messages import (
+    CONTROL_BYTES,
+    HEADER_BYTES,
+    QUERY_BYTES,
+    Frame,
+    FrameKind,
+    tuple_bytes,
+)
+from .mobility import (
+    DEFAULT_HOLDING_TIME,
+    DEFAULT_SPEED_RANGE,
+    MobilityModel,
+    RandomWaypoint,
+    StaticPlacement,
+)
+from .node import Node
+from .trace import TraceEvent, Tracer
+from .world import NetworkNode, RadioConfig, TrafficStats, World
+
+__all__ = [
+    "AodvConfig",
+    "AodvRouter",
+    "CONTROL_BYTES",
+    "DEFAULT_HOLDING_TIME",
+    "DEFAULT_SPEED_RANGE",
+    "DataPacket",
+    "EventHandle",
+    "Frame",
+    "FrameKind",
+    "HEADER_BYTES",
+    "MobilityModel",
+    "NetworkNode",
+    "Node",
+    "Process",
+    "QUERY_BYTES",
+    "RadioConfig",
+    "RandomWaypoint",
+    "Route",
+    "Simulator",
+    "StaticPlacement",
+    "TraceEvent",
+    "Tracer",
+    "TrafficStats",
+    "World",
+    "tuple_bytes",
+]

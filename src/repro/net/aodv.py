@@ -1,0 +1,459 @@
+"""AODV routing (Perkins & Royer) — the paper's routing protocol (Table 7).
+
+Implements the core of Ad hoc On-demand Distance Vector routing:
+
+* **Route discovery** — RREQ frames flood with ``(origin, rreq_id)``
+  duplicate suppression and a TTL; every node hearing an RREQ installs a
+  reverse route toward the origin; the destination (or an intermediate
+  node with a fresh-enough route) answers with an RREP unicast back along
+  the reverse path, installing forward routes as it travels.
+* **Data forwarding** — hop-by-hop via the routing table; using a route
+  refreshes its lifetime.
+* **Route maintenance** — a failed hop invalidates the route; the
+  detecting node attempts a local repair (its own discovery for the
+  destination) and, failing that, sends an RERR toward the source, which
+  may retry end to end.
+
+Simplifications relative to RFC 3561, none of which affect the paper's
+metrics: no expanding-ring search (fixed TTL), no precursor lists (RERRs
+unicast toward the data source), no HELLO beacons (link failures are
+detected on use).
+
+Queries flooding through the skyline protocols double as route
+advertisements: devices call :meth:`AodvRouter.learn_route` for the
+path back toward the query originator, exactly as AODV learns reverse
+routes from RREQs — this is why result unicasts rarely need a fresh
+discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .engine import EventHandle, Simulator
+from .messages import CONTROL_BYTES, Frame, FrameKind, HEADER_BYTES
+from .world import World
+
+__all__ = ["AodvConfig", "AodvRouter", "Route", "DataPacket"]
+
+
+@dataclass(frozen=True)
+class AodvConfig:
+    """AODV tunables.
+
+    Attributes:
+        active_route_timeout: Route lifetime in seconds; refreshed on use.
+        rreq_retries: Discovery attempts before declaring a destination
+            unreachable.
+        rreq_timeout: Seconds to wait for an RREP per attempt.
+        ttl: Max RREQ flood depth (fixed; no expanding ring).
+        repair_attempts: Local-repair discoveries a forwarding node may
+            try for one packet before sending an RERR.
+    """
+
+    active_route_timeout: float = 60.0
+    rreq_retries: int = 2
+    rreq_timeout: float = 1.5
+    ttl: int = 32
+    repair_attempts: int = 1
+
+
+@dataclass
+class Route:
+    """One routing-table entry."""
+
+    next_hop: int
+    hops: int
+    dest_seq: int
+    expires: float
+
+    def valid_at(self, now: float) -> bool:
+        """Is the route still alive at time ``now``?"""
+        return now < self.expires
+
+
+@dataclass
+class DataPacket:
+    """End-to-end payload carried inside DATA frames.
+
+    ``kind`` is the upper-layer frame kind (query / result / token), kept
+    so traffic statistics can attribute DATA hops to the protocol that
+    caused them. ``hops_left`` is the packet TTL: transient routing loops
+    (possible while topology and tables disagree) consume it instead of
+    circulating forever.
+    """
+
+    source: int
+    dest: int
+    kind: str
+    payload: Any
+    size_bytes: int
+    repairs: int = 0
+    hops_left: int = 32
+
+
+@dataclass
+class _Pending:
+    """Packets awaiting a route to one destination."""
+
+    packets: List[Tuple[DataPacket, Optional[Callable[[DataPacket], None]]]]
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+
+class AodvRouter:
+    """Per-node AODV instance.
+
+    Args:
+        world: The wireless world.
+        node_id: This node's identifier.
+        config: Protocol tunables.
+        on_data: Callback ``(packet: DataPacket) -> None`` invoked when a
+            DATA frame addressed to this node arrives.
+        on_undeliverable: Callback ``(packet: DataPacket) -> None`` when
+            a locally originated packet is dropped for good.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        node_id: int,
+        config: AodvConfig = AodvConfig(),
+        on_data: Optional[Callable[[DataPacket], None]] = None,
+        on_undeliverable: Optional[Callable[[DataPacket], None]] = None,
+    ) -> None:
+        self.world = world
+        self.node_id = node_id
+        self.config = config
+        self.on_data = on_data
+        self.on_undeliverable = on_undeliverable
+        self.routes: Dict[int, Route] = {}
+        self._seq = 0
+        self._rreq_id = 0
+        self._seen_rreq: Dict[Tuple[int, int], bool] = {}
+        self._pending: Dict[int, _Pending] = {}
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying event engine."""
+        return self.world.sim
+
+    # -- public API ---------------------------------------------------------
+
+    def send_data(
+        self,
+        dest: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        on_undeliverable: Optional[Callable[[DataPacket], None]] = None,
+    ) -> None:
+        """Send an upper-layer payload to ``dest``, discovering a route
+        if necessary."""
+        if dest == self.node_id:
+            raise ValueError("cannot send data to self")
+        packet = DataPacket(
+            source=self.node_id, dest=dest, kind=kind,
+            payload=payload, size_bytes=size_bytes,
+            hops_left=self.config.ttl,
+        )
+        self._dispatch(packet, on_undeliverable)
+
+    def learn_route(self, dest: int, next_hop: int, hops: int) -> None:
+        """Install/refresh a route learned from overheard protocol traffic.
+
+        Mirrors AODV's reverse-route installation from RREQ floods; the
+        skyline query dissemination calls this so results can flow back
+        without a dedicated discovery. Existing strictly better (fewer
+        hops) valid routes are kept.
+        """
+        if dest == self.node_id:
+            return
+        now = self.sim.now
+        current = self.routes.get(dest)
+        if current is not None and current.valid_at(now):
+            if current.next_hop == next_hop:
+                current.hops = min(current.hops, hops)
+                current.expires = now + self.config.active_route_timeout
+                return
+            if current.hops <= hops:
+                # Keep the existing route: replacing an equal-length
+                # route with a different next hop is how two nodes end up
+                # pointing at each other (a routing loop).
+                current.expires = max(
+                    current.expires, now + self.config.active_route_timeout
+                )
+                return
+        self.routes[dest] = Route(
+            next_hop=next_hop,
+            hops=hops,
+            dest_seq=current.dest_seq if current else 0,
+            expires=now + self.config.active_route_timeout,
+        )
+
+    def has_route(self, dest: int) -> bool:
+        """Is a valid route to ``dest`` currently installed?"""
+        route = self.routes.get(dest)
+        return route is not None and route.valid_at(self.sim.now)
+
+    def handle_frame(self, frame: Frame, sender: int) -> bool:
+        """Process an AODV-relevant frame. Returns False if the frame is
+        not AODV's business (the device handles it instead)."""
+        if frame.kind == FrameKind.RREQ:
+            self._on_rreq(frame.payload, sender)
+            return True
+        if frame.kind == FrameKind.RREP:
+            self._on_rrep(frame.payload, sender)
+            return True
+        if frame.kind == FrameKind.RERR:
+            self._on_rerr(frame.payload, sender)
+            return True
+        if frame.kind == FrameKind.DATA:
+            self._on_data_frame(frame.payload, sender)
+            return True
+        return False
+
+    # -- data path ----------------------------------------------------------
+
+    def _dispatch(
+        self,
+        packet: DataPacket,
+        on_undeliverable: Optional[Callable[[DataPacket], None]],
+    ) -> None:
+        route = self.routes.get(packet.dest)
+        if route is not None and route.valid_at(self.sim.now):
+            self._forward(packet, route, on_undeliverable)
+            return
+        self._enqueue_pending(packet, on_undeliverable)
+
+    def _forward(
+        self,
+        packet: DataPacket,
+        route: Route,
+        on_undeliverable: Optional[Callable[[DataPacket], None]],
+    ) -> None:
+        route.expires = self.sim.now + self.config.active_route_timeout
+        frame = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=route.next_hop,
+            payload=packet,
+            size_bytes=HEADER_BYTES + packet.size_bytes,
+        )
+
+        def failed(_frame: Frame) -> None:
+            self._on_hop_failure(packet, on_undeliverable)
+
+        self.world.send(frame, on_failure=failed)
+
+    def _on_hop_failure(
+        self,
+        packet: DataPacket,
+        on_undeliverable: Optional[Callable[[DataPacket], None]],
+    ) -> None:
+        """The next hop is gone: invalidate and attempt local repair."""
+        self.routes.pop(packet.dest, None)
+        if packet.repairs < self.config.repair_attempts:
+            packet.repairs += 1
+            self._enqueue_pending(packet, on_undeliverable)
+            return
+        if packet.source == self.node_id:
+            self._give_up(packet, on_undeliverable)
+        else:
+            self._send_rerr(packet)
+            self._give_up(packet, on_undeliverable)
+
+    def _on_data_frame(self, packet: DataPacket, sender: int) -> None:
+        if packet.dest == self.node_id:
+            if self.on_data is not None:
+                self.on_data(packet)
+            return
+        packet.hops_left -= 1
+        if packet.hops_left <= 0:
+            # TTL expired — a routing loop or an absurdly long path;
+            # drop and tell the source so it can rediscover.
+            self._send_rerr(packet)
+            return
+        self._dispatch(packet, on_undeliverable=None)
+
+    # -- discovery ----------------------------------------------------------
+
+    def _enqueue_pending(
+        self,
+        packet: DataPacket,
+        on_undeliverable: Optional[Callable[[DataPacket], None]],
+    ) -> None:
+        pending = self._pending.get(packet.dest)
+        if pending is None:
+            pending = _Pending(packets=[])
+            self._pending[packet.dest] = pending
+            self._start_discovery(packet.dest, pending)
+        pending.packets.append((packet, on_undeliverable))
+
+    def _start_discovery(self, dest: int, pending: _Pending) -> None:
+        pending.attempts += 1
+        self._rreq_id += 1
+        self._seq += 1
+        payload = {
+            "rreq_id": self._rreq_id,
+            "origin": self.node_id,
+            "origin_seq": self._seq,
+            "dest": dest,
+            "dest_seq": self.routes[dest].dest_seq if dest in self.routes else 0,
+            "hops": 0,
+            "ttl": self.config.ttl,
+        }
+        self._seen_rreq[(self.node_id, self._rreq_id)] = True
+        self.world.broadcast(
+            Frame(
+                kind=FrameKind.RREQ, src=self.node_id, dst=None,
+                payload=payload, size_bytes=CONTROL_BYTES,
+            )
+        )
+        pending.timer = self.sim.schedule(
+            self.config.rreq_timeout, self._on_discovery_timeout, dest
+        )
+
+    def _on_discovery_timeout(self, dest: int) -> None:
+        pending = self._pending.get(dest)
+        if pending is None:
+            return
+        if self.has_route(dest):
+            self._flush_pending(dest)
+            return
+        if pending.attempts > self.config.rreq_retries:
+            del self._pending[dest]
+            for packet, cb in pending.packets:
+                self._give_up(packet, cb)
+            return
+        self._start_discovery(dest, pending)
+
+    def _flush_pending(self, dest: int) -> None:
+        pending = self._pending.pop(dest, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        route = self.routes.get(dest)
+        for packet, cb in pending.packets:
+            if route is not None and route.valid_at(self.sim.now):
+                self._forward(packet, route, cb)
+            else:
+                self._give_up(packet, cb)
+
+    def _give_up(
+        self,
+        packet: DataPacket,
+        on_undeliverable: Optional[Callable[[DataPacket], None]],
+    ) -> None:
+        if on_undeliverable is not None:
+            on_undeliverable(packet)
+        elif packet.source == self.node_id and self.on_undeliverable is not None:
+            self.on_undeliverable(packet)
+
+    # -- control frames -----------------------------------------------------
+
+    def _on_rreq(self, payload: dict, sender: int) -> None:
+        key = (payload["origin"], payload["rreq_id"])
+        if key in self._seen_rreq:
+            return
+        self._seen_rreq[key] = True
+        hops = payload["hops"] + 1
+        self._install(payload["origin"], sender, hops, payload["origin_seq"])
+        dest = payload["dest"]
+        route = self.routes.get(dest)
+        if dest == self.node_id:
+            self._seq = max(self._seq, payload["dest_seq"]) + 1
+            self._send_rrep(payload["origin"], dest, self._seq, 0)
+            return
+        if (
+            route is not None
+            and route.valid_at(self.sim.now)
+            and route.dest_seq >= payload["dest_seq"]
+            and route.dest_seq > 0
+        ):
+            self._send_rrep(payload["origin"], dest, route.dest_seq, route.hops)
+            return
+        if payload["ttl"] <= 1:
+            return
+        forwarded = dict(payload, hops=hops, ttl=payload["ttl"] - 1)
+        self.world.broadcast(
+            Frame(
+                kind=FrameKind.RREQ, src=self.node_id, dst=None,
+                payload=forwarded, size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _send_rrep(self, origin: int, dest: int, dest_seq: int, hops: int) -> None:
+        payload = {"origin": origin, "dest": dest, "dest_seq": dest_seq, "hops": hops}
+        if origin == self.node_id:
+            return
+        route = self.routes.get(origin)
+        if route is None or not route.valid_at(self.sim.now):
+            return  # reverse route evaporated; the origin will retry
+        self.world.send(
+            Frame(
+                kind=FrameKind.RREP, src=self.node_id, dst=route.next_hop,
+                payload=payload, size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_rrep(self, payload: dict, sender: int) -> None:
+        hops = payload["hops"] + 1
+        self._install(payload["dest"], sender, hops, payload["dest_seq"])
+        if payload["origin"] == self.node_id:
+            self._flush_pending(payload["dest"])
+            return
+        forwarded = dict(payload, hops=hops)
+        route = self.routes.get(payload["origin"])
+        if route is None or not route.valid_at(self.sim.now):
+            return
+        self.world.send(
+            Frame(
+                kind=FrameKind.RREP, src=self.node_id, dst=route.next_hop,
+                payload=forwarded, size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _send_rerr(self, packet: DataPacket) -> None:
+        route = self.routes.get(packet.source)
+        payload = {"dest": packet.dest, "source": packet.source}
+        if route is None or not route.valid_at(self.sim.now):
+            return
+        self.world.send(
+            Frame(
+                kind=FrameKind.RERR, src=self.node_id, dst=route.next_hop,
+                payload=payload, size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_rerr(self, payload: dict, sender: int) -> None:
+        route = self.routes.get(payload["dest"])
+        if route is not None and route.next_hop == sender:
+            self.routes.pop(payload["dest"], None)
+        if payload["source"] != self.node_id:
+            nxt = self.routes.get(payload["source"])
+            if nxt is not None and nxt.valid_at(self.sim.now):
+                self.world.send(
+                    Frame(
+                        kind=FrameKind.RERR, src=self.node_id, dst=nxt.next_hop,
+                        payload=payload, size_bytes=CONTROL_BYTES,
+                    )
+                )
+
+    def _install(self, dest: int, next_hop: int, hops: int, seq: int) -> None:
+        if dest == self.node_id:
+            return
+        now = self.sim.now
+        current = self.routes.get(dest)
+        if current is not None and current.valid_at(now):
+            if current.dest_seq > seq:
+                return
+            if current.dest_seq == seq and current.hops <= hops:
+                current.expires = now + self.config.active_route_timeout
+                return
+        self.routes[dest] = Route(
+            next_hop=next_hop, hops=hops, dest_seq=seq,
+            expires=now + self.config.active_route_timeout,
+        )

@@ -1,0 +1,166 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event engine in the style of simpy's core (which
+is not available in this environment): a binary-heap event queue with
+stable FIFO ordering among simultaneous events, callback scheduling, and
+generator-based processes that ``yield`` delays.
+
+Determinism: events fire in ``(time, sequence)`` order, where the
+sequence number is assigned at scheduling time, so two runs with the same
+seed replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+__all__ = ["Simulator", "EventHandle", "Process"]
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., None], args: Tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "hello at t=5")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far (diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._heap)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self._now + delay, next(self._seq), callback, tuple(args))
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def process(self, generator: Generator[float, None, None]) -> "Process":
+        """Run a generator as a process: each yielded float is a delay."""
+        proc = Process(self, generator)
+        proc._step()
+        return proc
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Execute events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run;
+        afterwards ``now`` equals ``until`` even if the queue drained
+        earlier (so a 2-hour simulation reports 2 hours).
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = head.time
+            head.callback(*head.args)
+            self._events_fired += 1
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute exactly one event; return False if the queue is empty."""
+        while self._heap:
+            head = heapq.heappop(self._heap)
+            if head.cancelled:
+                continue
+            self._now = head.time
+            head.callback(*head.args)
+            self._events_fired += 1
+            return True
+        return False
+
+
+class Process:
+    """A generator-driven process: ``yield <delay>`` suspends it.
+
+    The generator may yield non-negative floats (relative delays). When
+    it returns, the process is finished.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[float, None, None]):
+        self._sim = sim
+        self._gen = generator
+        self.finished = False
+        self._handle: Optional[EventHandle] = None
+
+    def _step(self) -> None:
+        if self.finished:
+            return
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return
+        if not isinstance(delay, (int, float)) or delay < 0:
+            raise ValueError(f"process must yield non-negative delays, got {delay!r}")
+        self._handle = self._sim.schedule(float(delay), self._step)
+
+    def stop(self) -> None:
+        """Terminate the process without running it further."""
+        self.finished = True
+        if self._handle is not None:
+            self._handle.cancel()
+        self._gen.close()

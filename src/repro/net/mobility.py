@@ -1,0 +1,204 @@
+"""Mobility models for the MANET simulation.
+
+"All devices move within the spatial domain according to the random
+waypoint mobility model. In that model, every device moves towards its
+own destination with its own speed, and when it reaches that destination
+it will stop there for a period of time (holding time) and then move to
+another destination with a new random speed" (Section 5.2.1, citing
+Broch et al., MOBICOM 1998). Paper settings: speed U[2, 10] m/s, holding
+time 120 s, domain 1000 x 1000 (Table 7).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MobilityModel",
+    "StaticPlacement",
+    "RandomWaypoint",
+    "DEFAULT_SPEED_RANGE",
+    "DEFAULT_HOLDING_TIME",
+]
+
+DEFAULT_SPEED_RANGE = (2.0, 10.0)
+DEFAULT_HOLDING_TIME = 120.0
+
+Position = Tuple[float, float]
+
+
+class MobilityModel(abc.ABC):
+    """Answers "where is node i at time t" for every node."""
+
+    @property
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Number of nodes the model tracks."""
+
+    @abc.abstractmethod
+    def position(self, node: int, t: float) -> Position:
+        """Position of ``node`` at simulation time ``t`` (t >= 0)."""
+
+    def positions(self, t: float) -> np.ndarray:
+        """``(m, 2)`` array of all node positions at time ``t``."""
+        return np.array(
+            [self.position(i, t) for i in range(self.node_count)], dtype=np.float64
+        )
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes that never move — the static pre-test setting (Section 5.2.2-I)."""
+
+    def __init__(self, positions: Sequence[Position]) -> None:
+        if not positions:
+            raise ValueError("need at least one node position")
+        self._positions = [
+            (float(x), float(y)) for x, y in positions
+        ]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._positions)
+
+    def position(self, node: int, t: float) -> Position:
+        if t < 0:
+            raise ValueError("time must be >= 0")
+        return self._positions[node]
+
+
+@dataclass(frozen=True)
+class _Leg:
+    """One segment of a node's trajectory: travel or pause."""
+
+    t_start: float
+    t_end: float
+    start: Position
+    end: Position
+
+    def at(self, t: float) -> Position:
+        if self.t_end <= self.t_start:
+            return self.end
+        frac = (t - self.t_start) / (self.t_end - self.t_start)
+        frac = min(max(frac, 0.0), 1.0)
+        return (
+            self.start[0] + frac * (self.end[0] - self.start[0]),
+            self.start[1] + frac * (self.end[1] - self.start[1]),
+        )
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint mobility, lazily materialised and seed-deterministic.
+
+    Each node's trajectory is a sequence of (travel, pause) legs generated
+    on demand: positions can be queried at any non-decreasing or random
+    time; legs are extended as far as needed and cached.
+
+    Args:
+        node_count: Number of nodes.
+        extent: ``(x_min, y_min, x_max, y_max)`` movement area.
+        speed_range: Uniform speed range in m/s (paper: 2-10).
+        holding_time: Pause at each waypoint in seconds (paper: 120).
+        seed: RNG seed; each node derives an independent stream, so
+            adding nodes does not perturb existing trajectories.
+        start_positions: Optional fixed initial positions (defaults to
+            uniform random within ``extent``).
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        extent: Tuple[float, float, float, float] = (0.0, 0.0, 1000.0, 1000.0),
+        speed_range: Tuple[float, float] = DEFAULT_SPEED_RANGE,
+        holding_time: float = DEFAULT_HOLDING_TIME,
+        seed: Optional[int] = None,
+        start_positions: Optional[Sequence[Position]] = None,
+    ) -> None:
+        if node_count < 1:
+            raise ValueError("node_count must be >= 1")
+        lo, hi = speed_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"bad speed range {speed_range}")
+        if holding_time < 0:
+            raise ValueError("holding_time must be >= 0")
+        x_min, y_min, x_max, y_max = extent
+        if not (x_min < x_max and y_min < y_max):
+            raise ValueError(f"degenerate extent {extent}")
+        self._count = node_count
+        self._extent = extent
+        self._speed_range = speed_range
+        self._holding = holding_time
+        seed_seq = np.random.SeedSequence(seed)
+        self._rngs = [
+            np.random.default_rng(s) for s in seed_seq.spawn(node_count)
+        ]
+        self._legs: List[List[_Leg]] = [[] for _ in range(node_count)]
+        if start_positions is not None:
+            if len(start_positions) != node_count:
+                raise ValueError(
+                    f"need {node_count} start positions, got {len(start_positions)}"
+                )
+            starts = [(float(x), float(y)) for x, y in start_positions]
+        else:
+            starts = [
+                (
+                    float(self._rngs[i].uniform(x_min, x_max)),
+                    float(self._rngs[i].uniform(y_min, y_max)),
+                )
+                for i in range(node_count)
+            ]
+        self._starts = starts
+
+    @property
+    def node_count(self) -> int:
+        return self._count
+
+    @property
+    def extent(self) -> Tuple[float, float, float, float]:
+        """The movement area."""
+        return self._extent
+
+    def position(self, node: int, t: float) -> Position:
+        if t < 0:
+            raise ValueError("time must be >= 0")
+        legs = self._legs[node]
+        while not legs or legs[-1].t_end < t:
+            self._extend(node)
+            legs = self._legs[node]
+        # Binary search for the covering leg.
+        lo, hi = 0, len(legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if legs[mid].t_end < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return legs[lo].at(t)
+
+    def _extend(self, node: int) -> None:
+        """Append one (pause, travel) pair to the node's trajectory."""
+        rng = self._rngs[node]
+        legs = self._legs[node]
+        if legs:
+            t0 = legs[-1].t_end
+            pos = legs[-1].end
+        else:
+            t0 = 0.0
+            pos = self._starts[node]
+        # Pause at the current waypoint (initial pause models devices
+        # starting at rest, matching the classic RWP formulation).
+        if self._holding > 0:
+            legs.append(_Leg(t0, t0 + self._holding, pos, pos))
+            t0 += self._holding
+        x_min, y_min, x_max, y_max = self._extent
+        dest = (float(rng.uniform(x_min, x_max)), float(rng.uniform(y_min, y_max)))
+        speed = float(rng.uniform(*self._speed_range))
+        distance = math.hypot(dest[0] - pos[0], dest[1] - pos[1])
+        duration = distance / speed if speed > 0 else 0.0
+        if duration <= 0:
+            duration = 1e-9  # degenerate zero-length trip
+        legs.append(_Leg(t0, t0 + duration, pos, dest))

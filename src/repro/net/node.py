@@ -1,0 +1,76 @@
+"""Base network node: wires a World slot to an AODV router.
+
+Protocol-level code (the skyline devices) subclasses :class:`Node` and
+implements :meth:`Node.on_protocol_frame` plus :meth:`Node.on_data` for
+routed end-to-end payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .aodv import AodvConfig, AodvRouter, DataPacket
+from .engine import Simulator
+from .messages import Frame
+from .world import World
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A node with an AODV routing layer.
+
+    Args:
+        world: The wireless world (the node attaches itself).
+        node_id: Identifier matching a mobility slot.
+        aodv_config: Routing tunables.
+    """
+
+    def __init__(
+        self, world: World, node_id: int, aodv_config: AodvConfig = AodvConfig()
+    ) -> None:
+        self.world = world
+        self.node_id = node_id
+        self.router = AodvRouter(
+            world,
+            node_id,
+            config=aodv_config,
+            on_data=self.on_data,
+            on_undeliverable=self.on_undeliverable,
+        )
+        world.attach(self)
+
+    @property
+    def sim(self) -> Simulator:
+        """The event engine."""
+        return self.world.sim
+
+    @property
+    def position(self) -> tuple:
+        """Current position of this node."""
+        return self.world.position(self.node_id)
+
+    def on_frame(self, frame: Frame, sender: int) -> None:
+        """World delivery entry point: AODV frames go to the router,
+        everything else to the protocol handler.
+
+        Receiving any frame proves the transmitter is currently within
+        radio range, so a 1-hop route to it is installed — the standard
+        overhearing optimization, which saves a route discovery for the
+        common reply-to-neighbour case.
+        """
+        self.router.learn_route(sender, sender, hops=1)
+        if self.router.handle_frame(frame, sender):
+            return
+        self.on_protocol_frame(frame, sender)
+
+    # -- extension points ---------------------------------------------------
+
+    def on_protocol_frame(self, frame: Frame, sender: int) -> None:
+        """Handle a non-AODV frame (one-hop protocol traffic)."""
+
+    def on_data(self, packet: DataPacket) -> None:
+        """Handle a routed end-to-end payload addressed to this node."""
+
+    def on_undeliverable(self, packet: DataPacket) -> None:
+        """Called when a locally originated packet is dropped for good."""

@@ -1,0 +1,149 @@
+"""Structured event tracing for simulations.
+
+A :class:`Tracer` subscribes to a :class:`~repro.net.world.World` and
+records frame-level events (sent / delivered / dropped) with timestamps,
+plus arbitrary application events emitted by protocol code. Traces are
+in-memory, filterable, and dumpable as text — the debugging tool every
+network simulator grows sooner or later, and the basis for the test
+suite's temporal assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from .messages import Frame
+from .world import World
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        time: Simulation time of the event.
+        kind: Event category (``frame-sent`` / ``frame-delivered`` /
+            ``frame-dropped`` or an application-defined string).
+        node: Primary node involved (transmitter for sends, receiver for
+            deliveries), or None for world-level events.
+        detail: Free-form payload (for frame events: the frame kind,
+            source, destination, and size).
+    """
+
+    time: float
+    kind: str
+    node: Optional[int]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        node = f"node={self.node} " if self.node is not None else ""
+        return f"[{self.time:12.6f}] {self.kind:<16} {node}{extras}"
+
+
+class Tracer:
+    """Records world and application events.
+
+    Attach with :meth:`install`; the tracer wraps the world's transmit
+    and delivery paths (composing with whatever was there). Protocol
+    code can mark milestones with :meth:`emit`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+        self._world: Optional[World] = None
+        self.dropped_events = 0
+
+    # -- installation -------------------------------------------------------
+
+    def install(self, world: World) -> "Tracer":
+        """Start recording the world's frame events. Returns self."""
+        if self._world is not None:
+            raise RuntimeError("tracer already installed")
+        self._world = world
+        original_record = world.stats.record_send
+        original_deliver = world._deliver_to
+
+        def record_send(frame: Frame) -> None:
+            original_record(frame)
+            self._frame_event("frame-sent", frame.src, frame)
+
+        def deliver_to(node: int, frame: Frame) -> None:
+            self._frame_event("frame-delivered", node, frame)
+            original_deliver(node, frame)
+
+        world.stats.record_send = record_send  # type: ignore[method-assign]
+        world._deliver_to = deliver_to  # type: ignore[method-assign]
+        return self
+
+    # -- recording ------------------------------------------------------------
+
+    def emit(self, kind: str, node: Optional[int] = None, **detail: Any) -> None:
+        """Record an application-level event at the current sim time."""
+        if self._world is None:
+            raise RuntimeError("tracer not installed on a world")
+        self._append(
+            TraceEvent(time=self._world.sim.now, kind=kind, node=node,
+                       detail=dict(detail))
+        )
+
+    def _frame_event(self, kind: str, node: int, frame: Frame) -> None:
+        self._append(
+            TraceEvent(
+                time=self._world.sim.now if self._world else 0.0,
+                kind=kind,
+                node=node,
+                detail={
+                    "frame": frame.kind,
+                    "src": frame.src,
+                    "dst": frame.dst if frame.dst is not None else "*",
+                    "bytes": frame.size_bytes,
+                },
+            )
+        )
+
+    def _append(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.events.pop(0)
+            self.dropped_events += 1
+        self.events.append(event)
+
+    # -- querying ---------------------------------------------------------------
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+        frame_kind: Optional[str] = None,
+        since: float = 0.0,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching every given criterion."""
+        out = []
+        for event in self.events:
+            if event.time < since:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if frame_kind is not None and event.detail.get("frame") != frame_kind:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """Multi-line text dump (all events by default)."""
+        return "\n".join(e.render() for e in (events or self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)

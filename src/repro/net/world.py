@@ -1,0 +1,256 @@
+"""The wireless world: connectivity, transmission, and frame accounting.
+
+Links follow the unit-disk model used by ad hoc network simulators: two
+nodes can exchange frames iff they are within radio range. Frame delivery
+takes ``latency + size / bandwidth`` seconds; a frame is lost if the
+receiver has moved out of range by delivery time (mobility-induced loss,
+the dominant loss mode the paper's setting cares about). IEEE
+802.11b-flavoured defaults: 250 m range, 2 Mbit/s effective bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from .engine import Simulator
+from .messages import Frame, FrameKind
+from .mobility import MobilityModel
+
+__all__ = ["World", "RadioConfig", "TrafficStats", "NetworkNode"]
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical/link layer parameters.
+
+    Attributes:
+        radio_range: Unit-disk communication range in metres.
+        bandwidth_bps: Effective link bandwidth in bits per second.
+        latency: Fixed per-hop latency in seconds (propagation + MAC).
+        loss_rate: Independent per-frame loss probability (failure
+            injection; 0 by default — mobility already causes losses).
+    """
+
+    radio_range: float = 250.0
+    bandwidth_bps: float = 2_000_000.0
+    latency: float = 0.002
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.radio_range <= 0:
+            raise ValueError("radio_range must be > 0")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be > 0")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def transfer_delay(self, size_bytes: int) -> float:
+        """Seconds to push ``size_bytes`` over one hop."""
+        return self.latency + (size_bytes * 8.0) / self.bandwidth_bps
+
+
+@dataclass
+class TrafficStats:
+    """Frame accounting for the whole world."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    drops: int = 0
+    bytes_sent: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, frame: Frame) -> None:
+        self.transmissions += 1
+        self.bytes_sent += frame.size_bytes
+        self.by_kind[frame.kind] = self.by_kind.get(frame.kind, 0) + 1
+
+    def protocol_messages(self) -> int:
+        """Transmissions of query-processing frames (Figure 12's count)."""
+        return sum(
+            n for kind, n in self.by_kind.items() if kind in FrameKind.PROTOCOL
+        )
+
+    def control_messages(self) -> int:
+        """Transmissions of AODV control frames."""
+        return sum(
+            n for kind, n in self.by_kind.items() if kind in FrameKind.CONTROL
+        )
+
+
+class NetworkNode(Protocol):
+    """What the world requires of an attached node."""
+
+    node_id: int
+
+    def on_frame(self, frame: Frame, sender: int) -> None:
+        """Handle a delivered frame."""
+
+
+class EnergyMeterLike(Protocol):
+    """What the world needs from an energy meter (duck-typed so the
+    net layer does not depend on :mod:`repro.devices`)."""
+
+    def on_transmit(self, size_bytes: int) -> None: ...
+
+    def on_receive(self, size_bytes: int) -> None: ...
+
+
+class World:
+    """Glue between the event engine, mobility, and the nodes.
+
+    Args:
+        sim: The event engine.
+        mobility: Position oracle for all nodes.
+        radio: Physical-layer parameters.
+        seed: Seed for the loss process.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mobility: MobilityModel,
+        radio: RadioConfig = RadioConfig(),
+        seed: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.mobility = mobility
+        self.radio = radio
+        self.stats = TrafficStats()
+        self._nodes: Dict[int, NetworkNode] = {}
+        self._rng = np.random.default_rng(seed)
+        #: Optional per-node energy meters; when present, frame
+        #: transmissions and receptions are charged to them
+        #: (``repro.devices.EnergyMeter`` instances keyed by node id).
+        self.energy_meters: Dict[int, "EnergyMeterLike"] = {}
+
+    # -- topology ---------------------------------------------------------
+
+    def attach(self, node: NetworkNode) -> None:
+        """Register a node; its id must match a mobility slot."""
+        if not 0 <= node.node_id < self.mobility.node_count:
+            raise ValueError(
+                f"node id {node.node_id} outside mobility range "
+                f"0..{self.mobility.node_count - 1}"
+            )
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already attached")
+        self._nodes[node.node_id] = node
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Attached node ids, sorted."""
+        return sorted(self._nodes)
+
+    def position(self, node: int) -> tuple:
+        """Current position of ``node``."""
+        return self.mobility.position(node, self.sim.now)
+
+    def distance(self, a: int, b: int) -> float:
+        """Current distance between two nodes."""
+        pa, pb = self.position(a), self.position(b)
+        return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Can ``a`` and ``b`` currently exchange frames?"""
+        return a != b and self.distance(a, b) <= self.radio.radio_range
+
+    def neighbors(self, node: int) -> List[int]:
+        """Nodes currently within radio range of ``node``."""
+        return [other for other in self._nodes if self.in_range(node, other)]
+
+    def connectivity_snapshot(self):
+        """Current connectivity as a networkx graph (analysis helper)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        ids = self.node_ids
+        g.add_nodes_from(ids)
+        positions = {i: self.position(i) for i in ids}
+        r2 = self.radio.radio_range**2
+        for i_pos, i in enumerate(ids):
+            xi, yi = positions[i]
+            for j in ids[i_pos + 1 :]:
+                xj, yj = positions[j]
+                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
+                    g.add_edge(i, j)
+        return g
+
+    # -- transmission -------------------------------------------------------
+
+    def send(
+        self,
+        frame: Frame,
+        on_failure: Optional[Callable[[Frame], None]] = None,
+    ) -> None:
+        """Transmit a unicast frame one hop.
+
+        The frame is lost (with ``on_failure`` invoked at what would have
+        been delivery time) if the receiver is out of range at send or
+        delivery time, or the random loss process fires. Losses are
+        silent to the receiver, as on a real radio.
+        """
+        if frame.dst is None:
+            raise ValueError("unicast send needs frame.dst; use broadcast()")
+        if frame.dst not in self._nodes:
+            raise ValueError(f"unknown destination node {frame.dst}")
+        self.stats.record_send(frame)
+        self._charge_tx(frame)
+        delay = self.radio.transfer_delay(frame.size_bytes)
+        if not self.in_range(frame.src, frame.dst) or self._lossy():
+            self.stats.drops += 1
+            if on_failure is not None:
+                self.sim.schedule(delay, on_failure, frame)
+            return
+        self.sim.schedule(delay, self._deliver, frame, on_failure)
+
+    def broadcast(self, frame: Frame) -> List[int]:
+        """Transmit a one-hop broadcast; returns the receiver ids.
+
+        One broadcast is one transmission on the air regardless of how
+        many neighbours hear it (wireless multicast advantage).
+        """
+        if frame.dst is not None:
+            raise ValueError("broadcast frames must have dst=None")
+        self.stats.record_send(frame)
+        self._charge_tx(frame)
+        receivers = []
+        delay = self.radio.transfer_delay(frame.size_bytes)
+        for other in self.neighbors(frame.src):
+            if self._lossy():
+                self.stats.drops += 1
+                continue
+            receivers.append(other)
+            self.sim.schedule(delay, self._deliver_to, other, frame)
+        return receivers
+
+    def _deliver(self, frame: Frame, on_failure: Optional[Callable[[Frame], None]]) -> None:
+        # Mobility check at delivery time: the receiver may have moved.
+        if not self.in_range(frame.src, frame.dst):
+            self.stats.drops += 1
+            if on_failure is not None:
+                on_failure(frame)
+            return
+        self._deliver_to(frame.dst, frame)
+
+    def _deliver_to(self, node: int, frame: Frame) -> None:
+        self.stats.deliveries += 1
+        meter = self.energy_meters.get(node)
+        if meter is not None:
+            meter.on_receive(frame.size_bytes)
+        self._nodes[node].on_frame(frame, frame.src)
+
+    def _charge_tx(self, frame: Frame) -> None:
+        meter = self.energy_meters.get(frame.src)
+        if meter is not None:
+            meter.on_transmit(frame.size_bytes)
+
+    def _lossy(self) -> bool:
+        return self.radio.loss_rate > 0 and bool(
+            self._rng.random() < self.radio.loss_rate
+        )

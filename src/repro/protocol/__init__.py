@@ -1,0 +1,55 @@
+"""Distributed skyline protocols: BF/DF forwarding and the static grid."""
+
+from .coordinator import (
+    STRATEGIES,
+    SimulationConfig,
+    SimulationResult,
+    build_network,
+    run_manet_simulation,
+)
+from .device import (
+    BFDevice,
+    DFDevice,
+    DeviceContribution,
+    ProtocolConfig,
+    QueryRecord,
+    SkylineDevice,
+)
+from .messages import QueryMessage, ResultMessage, TokenMessage
+from .redistribution import (
+    RedistributionProcess,
+    RedistributionStats,
+    locality_score,
+    redistribute_once,
+)
+from .static_grid import (
+    StaticContribution,
+    StaticQueryOutcome,
+    run_static_grid,
+    run_static_query,
+)
+
+__all__ = [
+    "BFDevice",
+    "DFDevice",
+    "DeviceContribution",
+    "ProtocolConfig",
+    "QueryMessage",
+    "QueryRecord",
+    "RedistributionProcess",
+    "RedistributionStats",
+    "ResultMessage",
+    "STRATEGIES",
+    "SimulationConfig",
+    "SimulationResult",
+    "SkylineDevice",
+    "StaticContribution",
+    "StaticQueryOutcome",
+    "TokenMessage",
+    "build_network",
+    "locality_score",
+    "redistribute_once",
+    "run_manet_simulation",
+    "run_static_grid",
+    "run_static_query",
+]

@@ -1,0 +1,185 @@
+"""End-to-end MANET simulation runs (Section 5.2).
+
+The coordinator wires a partitioned dataset, a mobility model, a radio
+world, and one skyline device per partition, then drives a query
+workload through it, enforcing the paper's one-query-in-progress rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.partition import GlobalDataset
+from ..data.workload import QueryRequest
+from ..net.aodv import AodvConfig
+from ..net.engine import Simulator
+from ..net.mobility import (
+    DEFAULT_HOLDING_TIME,
+    DEFAULT_SPEED_RANGE,
+    MobilityModel,
+    RandomWaypoint,
+)
+from ..net.world import RadioConfig, TrafficStats, World
+from .device import BFDevice, DFDevice, ProtocolConfig, QueryRecord, SkylineDevice
+
+__all__ = ["SimulationConfig", "SimulationResult", "run_manet_simulation",
+           "build_network", "STRATEGIES"]
+
+STRATEGIES = ("bf", "df")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """A complete MANET experiment configuration (Tables 6 and 7).
+
+    Attributes:
+        strategy: ``bf`` (breadth-first) or ``df`` (depth-first).
+        sim_time: Simulated duration in seconds (paper: 2 h).
+        radio: Physical-layer parameters.
+        aodv: Routing parameters.
+        protocol: Skyline protocol switches.
+        speed_range: Random-waypoint speed range (paper: 2-10 m/s).
+        holding_time: Random-waypoint pause (paper: 120 s).
+        seed: Master seed for mobility and loss processes.
+        drain_time: Extra simulated seconds after the last workload
+            entry so in-flight queries can finish.
+    """
+
+    strategy: str = "bf"
+    sim_time: float = 7200.0
+    radio: RadioConfig = field(default_factory=RadioConfig)
+    aodv: AodvConfig = field(default_factory=AodvConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    speed_range: Tuple[float, float] = DEFAULT_SPEED_RANGE
+    holding_time: float = DEFAULT_HOLDING_TIME
+    seed: Optional[int] = None
+    drain_time: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; choose from {STRATEGIES}"
+            )
+        if self.sim_time <= 0:
+            raise ValueError("sim_time must be > 0")
+        if self.drain_time < 0:
+            raise ValueError("drain_time must be >= 0")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, ready for the metrics layer."""
+
+    records: List[QueryRecord]
+    traffic: TrafficStats
+    devices: int
+    sim_time: float
+    issued: int
+    suppressed: int
+    events: int
+    energy_joules: List[float] = field(default_factory=list)
+    """Per-device energy spent on radio + skyline CPU during the run."""
+
+    @property
+    def completed(self) -> List[QueryRecord]:
+        """Queries that reached their strategy's completion condition."""
+        return [r for r in self.records if r.completion_time is not None]
+
+    @property
+    def total_energy(self) -> float:
+        """Fleet-wide energy in joules."""
+        return sum(self.energy_joules)
+
+
+def build_network(
+    dataset: GlobalDataset,
+    config: SimulationConfig,
+    mobility: Optional[MobilityModel] = None,
+) -> Tuple[Simulator, World, List[SkylineDevice]]:
+    """Construct the simulator, world, and one device per partition."""
+    sim = Simulator()
+    if mobility is None:
+        mobility = RandomWaypoint(
+            node_count=dataset.devices,
+            extent=dataset.schema.spatial_extent,
+            speed_range=config.speed_range,
+            holding_time=config.holding_time,
+            seed=config.seed,
+        )
+    if mobility.node_count != dataset.devices:
+        raise ValueError(
+            f"mobility tracks {mobility.node_count} nodes but the dataset "
+            f"has {dataset.devices} partitions"
+        )
+    world = World(sim, mobility, config.radio, seed=config.seed)
+    device_cls = BFDevice if config.strategy == "bf" else DFDevice
+    devices: List[SkylineDevice] = [
+        device_cls(
+            world, i, dataset.local(i),
+            config=config.protocol, aodv_config=config.aodv,
+        )
+        for i in range(dataset.devices)
+    ]
+    return sim, world, devices
+
+
+def run_manet_simulation(
+    dataset: GlobalDataset,
+    workload: Sequence[QueryRequest],
+    config: SimulationConfig,
+    mobility: Optional[MobilityModel] = None,
+    max_events: Optional[int] = None,
+) -> SimulationResult:
+    """Run a full MANET experiment.
+
+    Args:
+        dataset: Partitioned global relation (one partition per device).
+        workload: Intended query issues; entries whose device still has a
+            query in progress are suppressed (the paper's rule).
+        config: Simulation configuration.
+        mobility: Override the default random-waypoint model (e.g. a
+            :class:`~repro.net.mobility.StaticPlacement` for debugging).
+        max_events: Safety valve for tests.
+
+    Returns:
+        A :class:`SimulationResult` with every query record and the
+        global traffic statistics.
+    """
+    sim, world, devices = build_network(dataset, config, mobility)
+    issued = 0
+    suppressed = 0
+
+    def try_issue(request: QueryRequest) -> None:
+        nonlocal issued, suppressed
+        device = devices[request.device]
+        if device.has_active_query:
+            suppressed += 1
+            return
+        device.issue_query(request.distance)
+        issued += 1
+
+    for request in workload:
+        if request.device >= len(devices):
+            raise ValueError(
+                f"workload references device {request.device} but only "
+                f"{len(devices)} exist"
+            )
+        sim.schedule_at(request.time, try_issue, request)
+
+    sim.run(until=config.sim_time + config.drain_time, max_events=max_events)
+
+    records: List[QueryRecord] = []
+    for device in devices:
+        records.extend(device.records.values())
+    records.sort(key=lambda r: r.issue_time)
+    return SimulationResult(
+        records=records,
+        traffic=world.stats,
+        devices=dataset.devices,
+        sim_time=config.sim_time,
+        issued=issued,
+        suppressed=suppressed,
+        events=sim.events_fired,
+        energy_joules=[device.meter.joules for device in devices],
+    )

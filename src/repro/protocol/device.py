@@ -1,0 +1,563 @@
+"""Mobile skyline devices: local processing + the BF/DF query protocols.
+
+A :class:`SkylineDevice` owns one local relation, a query log for
+duplicate suppression, and the local skyline machinery of Section 4. The
+two concrete subclasses implement the paper's forwarding strategies
+(Section 5.2.1):
+
+* :class:`BFDevice` — *breadth-first*: the originator broadcasts the
+  query to its neighbours; every fresh receiver processes it locally,
+  unicasts its reduced result back to the originator (over AODV, with
+  reverse routes learned from the flood itself), and re-broadcasts the
+  query — with the dynamically promoted filtering tuple — to its own
+  neighbours.
+* :class:`DFDevice` — *depth-first*: a single token carrying the query,
+  the filtering tuple, and the accumulated result walks the network;
+  each device merges its reduced local skyline into the token and passes
+  it to one unvisited neighbour, backtracking along the path when stuck.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.assembly import SkylineAssembler, merge_skylines
+from ..core.filtering import Estimation, FilteringTuple, select_filter
+from ..core.local import LocalSkylineResult, local_skyline, local_skyline_vectorized
+from ..core.query import QueryCounter, QueryLog, SkylineQuery
+from ..devices.cost_model import PDA_2006, DeviceCostModel
+from ..devices.energy import EnergyMeter
+from ..net.aodv import AodvConfig, DataPacket
+from ..net.messages import Frame, FrameKind
+from ..net.node import Node
+from ..net.world import World
+from ..storage.flat import FlatStorage
+from ..storage.hybrid import HybridStorage
+from ..storage.relation import Relation
+from .messages import QueryMessage, ResultMessage, TokenMessage
+
+__all__ = [
+    "ProtocolConfig",
+    "DeviceContribution",
+    "QueryRecord",
+    "SkylineDevice",
+    "BFDevice",
+    "DFDevice",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Behavioural switches for the distributed strategies.
+
+    Attributes:
+        use_filter: Send a filtering tuple with the query (Section 3.2);
+            False gives the straightforward strategy of Section 3.1.
+        dynamic_filter: Promote the filter at intermediate devices
+            (Section 3.4); False keeps the originator's single filter.
+        estimation: Dominating-region bounding mode (the simulation uses
+            under-estimation, Section 5.2.2-II).
+        over_margin: Margin for over-estimation.
+        processor: ``vectorized`` (fast, for simulations), ``hybrid`` or
+            ``flat`` (faithful per-tuple paths with operation counts).
+        cost_model: Converts local work into simulated processing time.
+        model_processing_delay: If True, local processing delays message
+            sends by the modelled device time (the paper adds estimated
+            local costs to communication delays, Section 5.2.3).
+        query_timeout: Seconds after which an originator closes a query
+            regardless of missing results.
+        completion_quorum: For BF, the fraction of the other ``m - 1``
+            devices whose results mark the query complete — the paper's
+            80% rule (Section 5.2.3). Results arriving afterwards are
+            still merged until the timeout closes the record.
+    """
+
+    use_filter: bool = True
+    dynamic_filter: bool = True
+    estimation: Estimation = Estimation.UNDER
+    over_margin: float = 0.2
+    processor: str = "vectorized"
+    cost_model: DeviceCostModel = PDA_2006
+    model_processing_delay: bool = True
+    query_timeout: float = 600.0
+    completion_quorum: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.processor not in ("vectorized", "hybrid", "flat"):
+            raise ValueError(f"unknown processor {self.processor!r}")
+        if self.query_timeout <= 0:
+            raise ValueError("query_timeout must be > 0")
+        if not 0 < self.completion_quorum <= 1:
+            raise ValueError("completion_quorum must be in (0, 1]")
+
+
+@dataclass
+class DeviceContribution:
+    """What one device contributed to one query (metrics input)."""
+
+    device: int
+    unreduced_size: int
+    reduced_size: int
+    skipped: Optional[str]
+    processing_time: float
+    arrival_time: Optional[float] = None
+
+
+@dataclass
+class QueryRecord:
+    """Originator-side lifecycle record of one distributed query."""
+
+    query: SkylineQuery
+    issue_time: float
+    originator: int
+    local_unreduced: int
+    local_reduced: int
+    assembler: SkylineAssembler
+    contributions: Dict[int, DeviceContribution] = field(default_factory=dict)
+    completion_time: Optional[float] = None
+    closed: bool = False
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """``(origin, cnt)``."""
+        return self.query.key
+
+    @property
+    def result(self) -> Relation:
+        """The merged skyline so far."""
+        return self.assembler.result()
+
+    def arrival_times(self) -> List[float]:
+        """Sorted result-arrival times (BF's response-time input)."""
+        return sorted(
+            c.arrival_time
+            for c in self.contributions.values()
+            if c.arrival_time is not None
+        )
+
+
+class SkylineDevice(Node):
+    """Common device machinery: storage, local skylines, query records.
+
+    Args:
+        world: The wireless world.
+        device_id: Node id (also the index of the local relation).
+        relation: The device's local relation ``R_i``.
+        config: Protocol switches.
+        aodv_config: Routing tunables.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        device_id: int,
+        relation: Relation,
+        config: ProtocolConfig = ProtocolConfig(),
+        aodv_config: AodvConfig = AodvConfig(),
+    ) -> None:
+        super().__init__(world, device_id, aodv_config)
+        self.relation = relation
+        self.config = config
+        self.query_counter = QueryCounter()
+        self.query_log = QueryLog()
+        self.records: Dict[Tuple[int, int], QueryRecord] = {}
+        self._active_key: Optional[Tuple[int, int]] = None
+        self._storage = None
+        if config.processor == "hybrid":
+            self._storage = HybridStorage(relation)
+        elif config.processor == "flat":
+            self._storage = FlatStorage(relation)
+        #: Energy meter; registered with the world so radio traffic is
+        #: charged automatically, and charged CPU time by compute paths.
+        self.meter = EnergyMeter()
+        world.energy_meters[device_id] = self.meter
+
+    # -- local processing ---------------------------------------------------
+
+    def compute_local(
+        self, query: SkylineQuery, flt: Optional[FilteringTuple]
+    ) -> LocalSkylineResult:
+        """Run the Figure 4 local skyline with this device's processor."""
+        if self._storage is not None:
+            result = local_skyline(
+                self._storage, query, flt,
+                estimation=self.config.estimation,
+                over_margin=self.config.over_margin,
+            )
+        else:
+            result = local_skyline_vectorized(
+                self.relation, query, flt,
+                estimation=self.config.estimation,
+                over_margin=self.config.over_margin,
+            )
+        self.meter.on_compute(self.processing_delay(result))
+        return result
+
+    def processing_delay(self, result: LocalSkylineResult) -> float:
+        """Simulated device time the run took (0 if not modelled)."""
+        if not self.config.model_processing_delay:
+            return 0.0
+        return self.config.cost_model.time_for_result(
+            result, dims=self.relation.dimensions,
+            hybrid=self.config.processor != "flat",
+        )
+
+    # -- query lifecycle ------------------------------------------------------
+
+    @property
+    def has_active_query(self) -> bool:
+        """Is a query issued by this device still in progress? (The paper's
+        one-query-at-a-time rule, Section 5.2.1.)
+
+        A query stops being "in progress" once its strategy's completion
+        condition fires (BF quorum / DF traversal end), even though late
+        results keep being merged until the timeout closes the record.
+        """
+        if self._active_key is None:
+            return False
+        record = self.records.get(self._active_key)
+        return (
+            record is not None
+            and not record.closed
+            and record.completion_time is None
+        )
+
+    def issue_query(self, d: float) -> QueryRecord:
+        """Issue a distributed skyline query with distance ``d``."""
+        raise NotImplementedError
+
+    def _open_record(self, d: float) -> Tuple[QueryRecord, LocalSkylineResult,
+                                              Optional[FilteringTuple]]:
+        """Shared issue path: build the query, compute the originator's
+        local skyline, select the initial filtering tuple."""
+        if self.has_active_query:
+            raise RuntimeError(
+                f"device {self.node_id} already has a query in progress"
+            )
+        query = SkylineQuery(
+            origin=self.node_id,
+            cnt=self.query_counter.next_value(),
+            pos=self.position,
+            d=d,
+        )
+        self.query_log.record(query)  # never reprocess our own query
+        local = self.compute_local(query, None)
+        flt = None
+        if self.config.use_filter and local.skyline.cardinality:
+            local_highs = (
+                self.relation.normalized_worst()
+                if self.relation.cardinality
+                else None
+            )
+            flt = select_filter(
+                local.skyline,
+                self.config.estimation,
+                self.config.over_margin,
+                local_highs=local_highs,
+            )
+        record = QueryRecord(
+            query=query,
+            issue_time=self.sim.now,
+            originator=self.node_id,
+            local_unreduced=local.unreduced_size,
+            local_reduced=local.reduced_size,
+            assembler=SkylineAssembler(self.relation.schema, local.skyline),
+        )
+        self.records[query.key] = record
+        self._active_key = query.key
+        self.sim.schedule(self.config.query_timeout, self._close_query, query.key)
+        return record, local, flt
+
+    def _close_query(self, key: Tuple[int, int]) -> None:
+        record = self.records.get(key)
+        if record is None or record.closed:
+            return
+        record.closed = True
+        if self._active_key == key:
+            self._active_key = None
+
+    def _complete_query(self, key: Tuple[int, int], close: bool = True) -> None:
+        """Mark the strategy's completion condition as met.
+
+        With ``close=False`` (BF) the record stays open so stragglers
+        keep merging until the timeout; DF closes immediately — the
+        token is home and nothing else is coming.
+        """
+        record = self.records.get(key)
+        if record is None or record.closed:
+            return
+        if record.completion_time is None:
+            record.completion_time = self.sim.now
+        if close:
+            self._close_query(key)
+        elif self._active_key == key:
+            self._active_key = None
+
+
+class BFDevice(SkylineDevice):
+    """Breadth-first (flooding) strategy."""
+
+    def issue_query(self, d: float) -> QueryRecord:
+        record, local, flt = self._open_record(d)
+        delay = self.processing_delay(local)
+        message = QueryMessage(query=record.query, flt=flt, hops=1)
+        self.sim.schedule(delay, self._broadcast_query, message)
+        return record
+
+    def _broadcast_query(self, message: QueryMessage) -> None:
+        self.world.broadcast(
+            Frame(
+                kind=FrameKind.QUERY,
+                src=self.node_id,
+                dst=None,
+                payload=message,
+                size_bytes=message.size_bytes(self.relation.dimensions),
+            )
+        )
+
+    def on_protocol_frame(self, frame: Frame, sender: int) -> None:
+        if frame.kind != FrameKind.QUERY or not isinstance(
+            frame.payload, QueryMessage
+        ):
+            return
+        message: QueryMessage = frame.payload
+        # The flood doubles as an AODV reverse-route advertisement.
+        self.router.learn_route(message.query.origin, sender, message.hops)
+        if not self.query_log.check_and_record(message.query):
+            return
+        flt = message.flt if self.config.use_filter else None
+        result = self.compute_local(message.query, flt)
+        delay = self.processing_delay(result)
+        self.sim.schedule(delay, self._respond_and_forward, message, result, delay)
+
+    def _respond_and_forward(
+        self, message: QueryMessage, result: LocalSkylineResult, proc_time: float
+    ) -> None:
+        reply = ResultMessage(
+            query_key=message.query.key,
+            sender=self.node_id,
+            skyline=result.skyline,
+            unreduced_size=result.unreduced_size,
+            skipped=result.skipped,
+            processing_time=proc_time,
+        )
+        self.router.send_data(
+            dest=message.query.origin,
+            kind=FrameKind.RESULT,
+            payload=reply,
+            size_bytes=reply.size_bytes(self.relation.dimensions),
+        )
+        out_flt = message.flt
+        if self.config.use_filter and self.config.dynamic_filter:
+            out_flt = result.updated_filter
+        forwarded = QueryMessage(
+            query=message.query, flt=out_flt, hops=message.hops + 1
+        )
+        self._broadcast_query(forwarded)
+
+    def on_data(self, packet: DataPacket) -> None:
+        if packet.kind != FrameKind.RESULT or not isinstance(
+            packet.payload, ResultMessage
+        ):
+            return
+        reply: ResultMessage = packet.payload
+        record = self.records.get(reply.query_key)
+        if record is None or record.closed:
+            return
+        if reply.sender in record.contributions:
+            return
+        record.contributions[reply.sender] = DeviceContribution(
+            device=reply.sender,
+            unreduced_size=reply.unreduced_size,
+            reduced_size=reply.skyline.cardinality,
+            skipped=reply.skipped,
+            processing_time=reply.processing_time,
+            arrival_time=self.sim.now,
+        )
+        record.assembler.add(reply.skyline)
+        # The paper's completion rule: a quorum (80%) of the other
+        # devices have sent results back.
+        others = len(self.world.node_ids) - 1
+        needed = math.ceil(self.config.completion_quorum * others)
+        if len(record.contributions) >= needed:
+            self._complete_query(reply.query_key, close=False)
+
+
+class DFDevice(SkylineDevice):
+    """Depth-first (token passing) strategy."""
+
+    def issue_query(self, d: float) -> QueryRecord:
+        record, local, flt = self._open_record(d)
+        token = TokenMessage(
+            query=record.query,
+            flt=flt,
+            result=local.skyline,
+            visited=frozenset({self.node_id}),
+            path=(),
+            contributions=(),
+        )
+        delay = self.processing_delay(local)
+        self.sim.schedule(delay, self._pass_token, token)
+        return record
+
+    # -- token receipt --------------------------------------------------------
+
+    def on_protocol_frame(self, frame: Frame, sender: int) -> None:
+        if frame.kind != FrameKind.TOKEN or not isinstance(
+            frame.payload, TokenMessage
+        ):
+            return
+        token: TokenMessage = frame.payload
+        # ``sender`` is a true one-hop neighbour here, so a route toward
+        # the originator via it is safe to learn (hop count bounded by
+        # the token's forward path).
+        if token.query.origin != self.node_id:
+            self.router.learn_route(
+                token.query.origin, sender, hops=len(token.path) + 1
+            )
+        self._receive_token(token, sender)
+
+    def on_data(self, packet: DataPacket) -> None:
+        # Backtracking tokens travel routed (the parent may have moved);
+        # packet.source is not a neighbour, so no route learning here.
+        if packet.kind != FrameKind.TOKEN or not isinstance(
+            packet.payload, TokenMessage
+        ):
+            return
+        self._receive_token(packet.payload, packet.source)
+
+    def _receive_token(self, token: TokenMessage, sender: int) -> None:
+        if token.query.origin == self.node_id:
+            self._token_home(token)
+            return
+        if self.query_log.check_and_record(token.query):
+            flt = token.flt if self.config.use_filter else None
+            result = self.compute_local(token.query, flt)
+            merged = merge_skylines(token.result, result.skyline)
+            out_flt = token.flt
+            if self.config.use_filter and self.config.dynamic_filter:
+                out_flt = result.updated_filter
+            token = TokenMessage(
+                query=token.query,
+                flt=out_flt,
+                result=merged,
+                visited=token.visited | {self.node_id},
+                path=token.path,
+                contributions=token.contributions
+                + ((self.node_id, result.unreduced_size, result.reduced_size),),
+            )
+            delay = self.processing_delay(result)
+            self.sim.schedule(delay, self._pass_token, token)
+        else:
+            token = TokenMessage(
+                query=token.query,
+                flt=token.flt,
+                result=token.result,
+                visited=token.visited | {self.node_id},
+                path=token.path,
+                contributions=token.contributions,
+            )
+            self._pass_token(token)
+
+    # -- token forwarding -------------------------------------------------------
+
+    def _pass_token(self, token: TokenMessage, failed: FrozenSet[int] = frozenset()) -> None:
+        """Forward to one unvisited neighbour, else backtrack."""
+        candidates = sorted(
+            n
+            for n in self.world.neighbors(self.node_id)
+            if n not in token.visited and n not in failed
+        )
+        if candidates:
+            target = candidates[0]
+            outgoing = TokenMessage(
+                query=token.query,
+                flt=token.flt,
+                result=token.result,
+                visited=token.visited,
+                path=token.path + (self.node_id,),
+                contributions=token.contributions,
+            )
+            frame = Frame(
+                kind=FrameKind.TOKEN,
+                src=self.node_id,
+                dst=target,
+                payload=outgoing,
+                size_bytes=outgoing.size_bytes(self.relation.dimensions),
+            )
+
+            def retry(_frame: Frame, _target=target, _token=token, _failed=failed) -> None:
+                self._pass_token(_token, _failed | {_target})
+
+            self.world.send(frame, on_failure=retry)
+            return
+        self._backtrack(token)
+
+    def _backtrack(self, token: TokenMessage) -> None:
+        if not token.path:
+            if token.query.origin == self.node_id:
+                # The originator ran out of reachable unvisited neighbours:
+                # the traversal is over. (Results were already merged in
+                # _token_home before the token was sent back out.)
+                self._complete_query(token.query.key)
+            # Otherwise: a dead end away from home — the token dies and
+            # the originator's timeout closes the query.
+            return
+        parent = token.path[-1]
+        returned = TokenMessage(
+            query=token.query,
+            flt=token.flt,
+            result=token.result,
+            visited=token.visited,
+            path=token.path[:-1],
+            contributions=token.contributions,
+        )
+
+        def undeliverable(_packet: DataPacket, _token=returned) -> None:
+            # The parent vanished: skip it and keep unwinding.
+            self._backtrack(_token)
+
+        self.router.send_data(
+            dest=parent,
+            kind=FrameKind.TOKEN,
+            payload=returned,
+            size_bytes=returned.size_bytes(self.relation.dimensions),
+            on_undeliverable=undeliverable,
+        )
+
+    # -- originator side ---------------------------------------------------------
+
+    def _token_home(self, token: TokenMessage) -> None:
+        record = self.records.get(token.query.key)
+        if record is None or record.closed:
+            return
+        for device, unreduced, reduced in token.contributions:
+            if device not in record.contributions:
+                record.contributions[device] = DeviceContribution(
+                    device=device,
+                    unreduced_size=unreduced,
+                    reduced_size=reduced,
+                    skipped=None,
+                    processing_time=0.0,
+                    arrival_time=self.sim.now,
+                )
+        record.assembler.add(token.result)
+        token = TokenMessage(
+            query=token.query,
+            flt=token.flt,
+            result=record.assembler.result(),
+            visited=token.visited | {self.node_id},
+            path=(),
+            contributions=token.contributions,
+        )
+        unvisited = [
+            n
+            for n in self.world.neighbors(self.node_id)
+            if n not in token.visited
+        ]
+        if unvisited:
+            self._pass_token(token)
+        else:
+            self._complete_query(token.query.key)

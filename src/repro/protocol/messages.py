@@ -1,0 +1,88 @@
+"""Protocol-level message payloads for distributed skyline queries.
+
+Wire-size accounting follows Section 3: a query specification is tiny
+(id, cnt, position, distance — plus one filtering tuple when the
+filtering strategy is on), while results carry whole tuples, which is
+the cost the strategies fight to reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..core.filtering import FilteringTuple
+from ..core.query import SkylineQuery
+from ..net.messages import QUERY_BYTES, tuple_bytes
+from ..storage.relation import Relation
+
+__all__ = ["QueryMessage", "ResultMessage", "TokenMessage"]
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """Breadth-first query dissemination payload.
+
+    Attributes:
+        query: The query specification ``(id, cnt, pos_org, d)``.
+        flt: The filtering tuple travelling with the query (None for the
+            straightforward strategy).
+        hops: Hop distance from the originator (for route learning).
+    """
+
+    query: SkylineQuery
+    flt: Optional[FilteringTuple] = None
+    hops: int = 1
+
+    def size_bytes(self, dimensions: int) -> int:
+        """Query spec plus one tuple when a filter rides along."""
+        size = QUERY_BYTES
+        if self.flt is not None:
+            size += tuple_bytes(dimensions)
+        return size
+
+
+@dataclass(frozen=True)
+class ResultMessage:
+    """A device's reduced local skyline, headed back to the originator.
+
+    An empty skyline still produces a (short) message — the paper
+    requires a "correct, short message" even when the filter proved the
+    whole relation irrelevant.
+    """
+
+    query_key: Tuple[int, int]
+    sender: int
+    skyline: Relation
+    unreduced_size: int
+    skipped: Optional[str] = None
+    processing_time: float = 0.0
+
+    def size_bytes(self, dimensions: int) -> int:
+        """Tuples on the wire plus a small status header."""
+        return 8 + self.skyline.cardinality * tuple_bytes(dimensions)
+
+
+@dataclass(frozen=True)
+class TokenMessage:
+    """Depth-first token: query + accumulated result + traversal state.
+
+    The token is the only message DF uses; it grows as results merge
+    into it en route (Section 5.2.1's depth-first strategy).
+    """
+
+    query: SkylineQuery
+    flt: Optional[FilteringTuple]
+    result: Relation
+    visited: FrozenSet[int]
+    path: Tuple[int, ...]
+    contributions: Tuple[Tuple[int, int, int], ...] = ()
+    """Per-device ``(device, unreduced, reduced)`` records for metrics."""
+
+    def size_bytes(self, dimensions: int) -> int:
+        """Query spec + filter + carried tuples + visited-set bitmap."""
+        size = QUERY_BYTES + self.result.cardinality * tuple_bytes(dimensions)
+        if self.flt is not None:
+            size += tuple_bytes(dimensions)
+        size += (len(self.visited) + 7) // 8 + 2 * len(self.path)
+        return size

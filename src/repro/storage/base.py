@@ -1,0 +1,148 @@
+"""Abstract storage model for local relations on a mobile device.
+
+Section 4.1 motivates storage layout as a first-class concern on
+lightweight devices: data and running programs share one small memory, so
+both the footprint of a relation and the cost of accessing attribute
+values during dominance checks matter. Four schemes from the literature
+are implemented behind this interface:
+
+* :class:`~repro.storage.flat.FlatStorage` — raw values inline.
+* :class:`~repro.storage.hybrid.HybridStorage` — the paper's proposal.
+* :class:`~repro.storage.domain_store.DomainStorage` — Ammann et al.
+* :class:`~repro.storage.ring.RingStorage` — PicoDBMS-style rings.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from .relation import Relation
+from .schema import RelationSchema
+
+__all__ = ["StorageModel", "AccessStats", "SPATIAL_VALUE_BYTES", "FLOAT_VALUE_BYTES"]
+
+#: Bytes per stored spatial coordinate (the devices store x and y inline).
+SPATIAL_VALUE_BYTES = 4
+#: Bytes per raw non-spatial value (float in the device experiments).
+FLOAT_VALUE_BYTES = 4
+#: Bytes per pointer on the modelled device.
+POINTER_BYTES = 4
+
+
+class AccessStats:
+    """Counts storage-level operations during query processing.
+
+    ``value_reads`` are raw-value fetches, ``id_reads`` are small-integer
+    ID fetches, and ``indirections`` are pointer dereferences (domain
+    storage pays one per value; ring storage pays a whole chain). The
+    device cost model prices these separately (Section 4.1's argument
+    against ring/domain storage is exactly this indirection cost).
+    """
+
+    __slots__ = ("value_reads", "id_reads", "indirections")
+
+    def __init__(self) -> None:
+        self.value_reads = 0
+        self.id_reads = 0
+        self.indirections = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.value_reads = 0
+        self.id_reads = 0
+        self.indirections = 0
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.value_reads += other.value_reads
+        self.id_reads += other.id_reads
+        self.indirections += other.indirections
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessStats(values={self.value_reads}, ids={self.id_reads}, "
+            f"indirections={self.indirections})"
+        )
+
+
+class StorageModel(abc.ABC):
+    """A stored local relation, generic over physical layout.
+
+    All models expose logical row access in *stored order* (which may
+    differ from insertion order — hybrid storage sorts the relation) plus
+    footprint accounting. Row indices below always refer to stored order.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self._schema = schema
+        self.stats = AccessStats()
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation schema."""
+        return self._schema
+
+    @property
+    @abc.abstractmethod
+    def cardinality(self) -> int:
+        """Number of stored tuples."""
+
+    @property
+    def dimensions(self) -> int:
+        """Number of non-spatial attributes."""
+        return self._schema.dimensions
+
+    @property
+    @abc.abstractmethod
+    def xy(self) -> np.ndarray:
+        """``(N, 2)`` coordinates in stored order."""
+
+    @abc.abstractmethod
+    def get_value(self, row: int, attr: int) -> float:
+        """Logical value of attribute ``attr`` of stored row ``row``.
+
+        Implementations update :attr:`stats` with whatever physical
+        operations the layout requires.
+        """
+
+    @abc.abstractmethod
+    def values_matrix(self) -> np.ndarray:
+        """Bulk ``(N, n)`` logical values in stored order (no stats)."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Modelled storage footprint on the device."""
+
+    @property
+    @abc.abstractmethod
+    def mbr(self) -> Tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` of the stored sites."""
+
+    def local_bounds(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Per-attribute local ``(lows, highs)``.
+
+        Hybrid storage overrides this with an O(1) fetch from its sorted
+        domain arrays (Section 4.2); the generic implementation scans.
+        """
+        vals = self.values_matrix()
+        if vals.shape[0] == 0:
+            raise ValueError("bounds of an empty relation are undefined")
+        return (
+            tuple(float(v) for v in vals.min(axis=0)),
+            tuple(float(v) for v in vals.max(axis=0)),
+        )
+
+    def to_relation(self) -> Relation:
+        """Materialize the stored tuples back into a :class:`Relation`."""
+        return Relation(self._schema, self.xy, self.values_matrix(), self.site_ids)
+
+    @property
+    @abc.abstractmethod
+    def site_ids(self) -> np.ndarray:
+        """Global site ids in stored order."""
+
+    def __len__(self) -> int:
+        return self.cardinality

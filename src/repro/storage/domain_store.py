@@ -1,0 +1,95 @@
+"""Domain storage (Ammann et al., COMPCON 1985) — a rejected alternative.
+
+Every attribute of every tuple holds a *pointer* into a per-attribute
+domain table of distinct values. Unlike the paper's hybrid scheme the
+domain tables are kept in insertion order, so pointer comparisons say
+nothing about value order: every dominance comparison must dereference
+the pointers first. Section 4.1 rejects the scheme for exactly this
+"extra time to use tuple-to-value pointers" — this implementation exists
+to measure that cost in the storage ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import POINTER_BYTES, SPATIAL_VALUE_BYTES, FLOAT_VALUE_BYTES, StorageModel
+from .relation import Relation
+
+__all__ = ["DomainStorage"]
+
+
+class DomainStorage(StorageModel):
+    """Pointer-per-attribute storage with unsorted domain tables."""
+
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(relation.schema)
+        n = relation.cardinality
+        dims = relation.dimensions
+        domains: List[np.ndarray] = []
+        pointers = np.empty((n, dims), dtype=np.int32)
+        for j in range(dims):
+            column = relation.values[:, j]
+            # Insertion-order domain: first occurrence fixes the slot.
+            seen: dict = {}
+            table: List[float] = []
+            for i, v in enumerate(column):
+                key = float(v)
+                slot = seen.get(key)
+                if slot is None:
+                    slot = len(table)
+                    seen[key] = slot
+                    table.append(key)
+                pointers[i, j] = slot
+            domains.append(np.asarray(table, dtype=np.float64))
+        self._pointers = pointers
+        self._domains = domains
+        self._xy = relation.xy
+        self._site_ids = relation.site_ids
+        self._mbr = relation.mbr() if n else (0.0, 0.0, 0.0, 0.0)
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._pointers.shape[0])
+
+    @property
+    def xy(self) -> np.ndarray:
+        return self._xy
+
+    @property
+    def site_ids(self) -> np.ndarray:
+        return self._site_ids
+
+    def domain_size(self, attr: int) -> int:
+        """Number of distinct values of attribute ``attr``."""
+        return int(self._domains[attr].shape[0])
+
+    def get_value(self, row: int, attr: int) -> float:
+        """One pointer dereference per value access."""
+        self.stats.indirections += 1
+        self.stats.value_reads += 1
+        return float(self._domains[attr][self._pointers[row, attr]])
+
+    def values_matrix(self) -> np.ndarray:
+        if self.cardinality == 0:
+            return np.empty((0, self.dimensions), dtype=np.float64)
+        cols = [
+            self._domains[j][self._pointers[:, j]] for j in range(self.dimensions)
+        ]
+        return np.column_stack(cols).astype(np.float64)
+
+    def size_bytes(self) -> int:
+        """Coordinates inline + one pointer per attribute + domain tables."""
+        per_tuple = 2 * SPATIAL_VALUE_BYTES + self.dimensions * POINTER_BYTES
+        domain_bytes = sum(
+            self.domain_size(j) * FLOAT_VALUE_BYTES for j in range(self.dimensions)
+        )
+        return self.cardinality * per_tuple + domain_bytes
+
+    @property
+    def mbr(self) -> Tuple[float, float, float, float]:
+        if self.cardinality == 0:
+            raise ValueError("MBR of an empty relation is undefined")
+        return self._mbr

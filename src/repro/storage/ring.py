@@ -1,0 +1,122 @@
+"""Ring storage (PicoDBMS, Bobineau et al., VLDB 2000) — a rejected
+alternative.
+
+All tuples sharing an attribute value are linked into a ring by internal
+pointers; exactly one tuple in each ring (the *head*) carries the
+external pointer to the shared value. Reading an attribute value from a
+non-head tuple means walking the ring until the head is found. Section
+4.1 rejects the scheme because skyline processing "needs tuple values
+frequently in dominance comparisons" and the chain traversal makes every
+read expensive — this implementation measures that chain cost for the
+storage ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .base import POINTER_BYTES, SPATIAL_VALUE_BYTES, FLOAT_VALUE_BYTES, StorageModel
+from .relation import Relation
+
+__all__ = ["RingStorage"]
+
+
+class RingStorage(StorageModel):
+    """Value-sharing ring storage with head-held external value pointers."""
+
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(relation.schema)
+        n = relation.cardinality
+        dims = relation.dimensions
+        # next_in_ring[i, j]: row index of the next ring member for
+        # attribute j; is_head[i, j]: whether row i holds the external
+        # value pointer for its ring.
+        next_in_ring = np.empty((n, dims), dtype=np.int64)
+        is_head = np.zeros((n, dims), dtype=bool)
+        head_values: List[Dict[int, float]] = [dict() for _ in range(dims)]
+        for j in range(dims):
+            rings: Dict[float, List[int]] = {}
+            for i in range(n):
+                rings.setdefault(float(relation.values[i, j]), []).append(i)
+            for value, members in rings.items():
+                head = members[0]
+                is_head[head, j] = True
+                head_values[j][head] = value
+                for pos, row in enumerate(members):
+                    next_in_ring[row, j] = members[(pos + 1) % len(members)]
+        self._next = next_in_ring
+        self._is_head = is_head
+        self._head_values = head_values
+        self._xy = relation.xy
+        self._site_ids = relation.site_ids
+        self._mbr = relation.mbr() if n else (0.0, 0.0, 0.0, 0.0)
+        self._ring_count = sum(len(hv) for hv in head_values)
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._next.shape[0])
+
+    @property
+    def xy(self) -> np.ndarray:
+        return self._xy
+
+    @property
+    def site_ids(self) -> np.ndarray:
+        return self._site_ids
+
+    def get_value(self, row: int, attr: int) -> float:
+        """Walk the ring to the head, then read the shared value.
+
+        Every hop is counted as an indirection — the cost Section 4.1
+        holds against this layout.
+        """
+        current = row
+        hops = 0
+        while not self._is_head[current, attr]:
+            current = int(self._next[current, attr])
+            hops += 1
+            if hops > self.cardinality:
+                raise RuntimeError("corrupt ring: no head reachable")
+        self.stats.indirections += hops + 1
+        self.stats.value_reads += 1
+        return self._head_values[attr][current]
+
+    def chain_length(self, row: int, attr: int) -> int:
+        """Number of hops needed to reach the ring head from ``row``."""
+        current = row
+        hops = 0
+        while not self._is_head[current, attr]:
+            current = int(self._next[current, attr])
+            hops += 1
+        return hops
+
+    def values_matrix(self) -> np.ndarray:
+        if self.cardinality == 0:
+            return np.empty((0, self.dimensions), dtype=np.float64)
+        out = np.empty((self.cardinality, self.dimensions), dtype=np.float64)
+        for j in range(self.dimensions):
+            # Resolve each ring once, then broadcast the head value.
+            resolved = np.empty(self.cardinality, dtype=np.float64)
+            for head, value in self._head_values[j].items():
+                resolved[head] = value
+                current = int(self._next[head, j])
+                while current != head:
+                    resolved[current] = value
+                    current = int(self._next[current, j])
+            out[:, j] = resolved
+        return out
+
+    def size_bytes(self) -> int:
+        """Coordinates + one ring pointer per attribute per tuple + one
+        external value pointer and value per ring."""
+        per_tuple = 2 * SPATIAL_VALUE_BYTES + self.dimensions * POINTER_BYTES
+        ring_bytes = self._ring_count * (POINTER_BYTES + FLOAT_VALUE_BYTES)
+        return self.cardinality * per_tuple + ring_bytes
+
+    @property
+    def mbr(self) -> Tuple[float, float, float, float]:
+        if self.cardinality == 0:
+            raise ValueError("MBR of an empty relation is undefined")
+        return self._mbr

@@ -1,0 +1,174 @@
+"""Tests for the AODV routing substrate."""
+
+import pytest
+
+from repro.net import (
+    AodvConfig,
+    Frame,
+    FrameKind,
+    Node,
+    RadioConfig,
+    Simulator,
+    StaticPlacement,
+    World,
+)
+
+
+class AppNode(Node):
+    """Node recording routed payload deliveries and failures."""
+
+    def __init__(self, world, node_id, aodv_config=AodvConfig()):
+        super().__init__(world, node_id, aodv_config)
+        self.delivered = []
+        self.failed = []
+
+    def on_data(self, packet):
+        self.delivered.append((packet.payload, packet.source, self.sim.now))
+
+    def on_undeliverable(self, packet):
+        self.failed.append(packet)
+
+
+def line_network(n, spacing=200.0, aodv=AodvConfig()):
+    """n nodes in a line; adjacent pairs in range (range 250)."""
+    sim = Simulator()
+    positions = [(i * spacing, 0.0) for i in range(n)]
+    world = World(sim, StaticPlacement(positions), RadioConfig(radio_range=250.0))
+    nodes = [AppNode(world, i, aodv) for i in range(n)]
+    return sim, world, nodes
+
+
+class TestDiscoveryAndDelivery:
+    def test_multi_hop_delivery(self):
+        sim, world, nodes = line_network(5)
+        nodes[0].router.send_data(4, FrameKind.RESULT, "payload", 100)
+        sim.run(until=5.0)
+        assert nodes[4].delivered
+        assert nodes[4].delivered[0][0] == "payload"
+        assert nodes[4].delivered[0][1] == 0
+
+    def test_forward_routes_installed_along_path(self):
+        sim, world, nodes = line_network(4)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "x", 10)
+        sim.run(until=5.0)
+        for i in range(3):
+            assert nodes[i].router.has_route(3)
+
+    def test_route_reuse_no_second_discovery(self):
+        sim, world, nodes = line_network(4)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "a", 10)
+        sim.run(until=5.0)
+        rreqs_before = world.stats.by_kind.get("rreq", 0)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "b", 10)
+        sim.run(until=10.0)
+        assert world.stats.by_kind.get("rreq", 0) == rreqs_before
+        assert len(nodes[3].delivered) == 2
+
+    def test_rreq_dedup_bounded_flood(self):
+        sim, world, nodes = line_network(6)
+        nodes[0].router.send_data(5, FrameKind.RESULT, "z", 10)
+        sim.run(until=5.0)
+        # each node rebroadcasts one RREQ at most (origin + 4 relays;
+        # the destination answers instead of forwarding)
+        assert world.stats.by_kind["rreq"] <= 6
+
+    def test_unreachable_destination_gives_up(self):
+        sim, world, nodes = line_network(2, spacing=1000.0)  # out of range
+        cfg = nodes[0].router.config
+        nodes[0].router.send_data(1, FrameKind.RESULT, "lost", 10)
+        sim.run(until=(cfg.rreq_retries + 2) * cfg.rreq_timeout + 1)
+        assert nodes[0].failed
+        assert not nodes[1].delivered
+
+    def test_send_to_self_rejected(self):
+        _, _, nodes = line_network(2)
+        with pytest.raises(ValueError):
+            nodes[0].router.send_data(0, FrameKind.RESULT, "x", 1)
+
+
+class TestRouteTable:
+    def test_learn_route_and_has_route(self):
+        sim, world, nodes = line_network(3)
+        nodes[0].router.learn_route(2, next_hop=1, hops=2)
+        assert nodes[0].router.has_route(2)
+
+    def test_route_expiry(self):
+        aodv = AodvConfig(active_route_timeout=1.0)
+        sim, world, nodes = line_network(3, aodv=aodv)
+        nodes[0].router.learn_route(2, next_hop=1, hops=2)
+        assert nodes[0].router.has_route(2)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert not nodes[0].router.has_route(2)
+
+    def test_learn_route_keeps_shorter(self):
+        sim, world, nodes = line_network(3)
+        nodes[0].router.learn_route(2, next_hop=1, hops=1)
+        nodes[0].router.learn_route(2, next_hop=2, hops=5)
+        assert nodes[0].router.routes[2].next_hop == 1
+
+    def test_learn_route_no_equal_hop_replacement(self):
+        """Equal-length alternatives must not replace the next hop — that
+        is how two nodes end up pointing at each other."""
+        sim, world, nodes = line_network(4)
+        nodes[0].router.learn_route(3, next_hop=1, hops=2)
+        nodes[0].router.learn_route(3, next_hop=2, hops=2)
+        assert nodes[0].router.routes[3].next_hop == 1
+
+    def test_learn_route_self_ignored(self):
+        _, _, nodes = line_network(2)
+        nodes[0].router.learn_route(0, next_hop=1, hops=1)
+        assert 0 not in nodes[0].router.routes
+
+    def test_overhearing_installs_neighbor_route(self):
+        sim, world, nodes = line_network(2)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1, size_bytes=10))
+        sim.run(until=1.0)
+        assert nodes[1].router.has_route(0)
+
+
+class TestLoopProtection:
+    def test_data_ttl_kills_loops(self):
+        """Force a two-node routing loop; the packet must die by TTL, not
+        circulate forever."""
+        aodv = AodvConfig(ttl=8, repair_attempts=0, rreq_retries=0)
+        sim, world, nodes = line_network(3, aodv=aodv)
+        # Manually corrupt tables: 0 -> 1 -> 0 for destination 2.
+        nodes[0].router.learn_route(2, next_hop=1, hops=1)
+        nodes[1].router.learn_route(2, next_hop=0, hops=1)
+        # Prevent fixes: make node 2 unreachable physically is not needed;
+        # just watch the frame count stay bounded.
+        nodes[0].router.send_data(2, FrameKind.RESULT, "loop", 10)
+        sim.run(until=30.0)
+        assert world.stats.by_kind.get("data", 0) <= aodv.ttl + 1
+
+
+class TestMobilityRepair:
+    def test_broken_route_repaired_locally(self):
+        """A route via a vanished node triggers local repair."""
+        sim, world, nodes = line_network(4)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "one", 10)
+        sim.run(until=5.0)
+        assert len(nodes[3].delivered) == 1
+        # Corrupt node 1's route to 3: next hop is a node that is out of
+        # range (node 0 can't reach 3 either, but 1 can re-discover via 2).
+        nodes[1].router.routes[3].next_hop = 3  # 1 -> 3 directly: too far
+        nodes[0].router.send_data(3, FrameKind.RESULT, "two", 10)
+        sim.run(until=15.0)
+        assert len(nodes[3].delivered) == 2
+
+
+class TestPartition:
+    def test_partitioned_network_both_sides_work_internally(self):
+        sim = Simulator()
+        positions = [(0, 0), (200, 0), (5000, 0), (5200, 0)]
+        world = World(sim, StaticPlacement(positions), RadioConfig(radio_range=250))
+        nodes = [AppNode(world, i) for i in range(4)]
+        nodes[0].router.send_data(1, FrameKind.RESULT, "left", 10)
+        nodes[2].router.send_data(3, FrameKind.RESULT, "right", 10)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "cross", 10)
+        sim.run(until=20.0)
+        assert nodes[1].delivered and nodes[1].delivered[0][0] == "left"
+        assert nodes[3].delivered and nodes[3].delivered[0][0] == "right"
+        assert all(p != "cross" for p, *_ in nodes[3].delivered)
+        assert nodes[0].failed

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5a"])
+        assert args.figure == "fig5a"
+        assert args.scale == "default"
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["fig12", "--scale", "smoke"])
+        assert args.scale == "smoke"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5a", "--scale", "galactic"])
+
+
+class TestMain:
+    def test_fig5a_smoke(self, capsys):
+        assert main(["fig5a", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "HS-IN" in out
+
+    def test_fig5_group_runs_both_panels(self, capsys):
+        assert main(["fig5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "Figure 5(b)" in out

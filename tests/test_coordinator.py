@@ -1,0 +1,121 @@
+"""Tests for the MANET simulation coordinator."""
+
+import pytest
+
+from repro.data import QueryRequest, generate_workload, make_global_dataset
+from repro.net import StaticPlacement
+from repro.protocol import (
+    ProtocolConfig,
+    SimulationConfig,
+    run_manet_simulation,
+)
+from repro.protocol.coordinator import build_network
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(5000, 2, 9, "independent", seed=66, value_step=1.0)
+
+
+class TestConfig:
+    def test_strategy_validated(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            SimulationConfig(strategy="dfs")
+
+    def test_sim_time_validated(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sim_time=0.0)
+
+    def test_drain_validated(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(drain_time=-1.0)
+
+
+class TestBuildNetwork:
+    def test_one_device_per_partition(self, dataset):
+        sim, world, devices = build_network(dataset, SimulationConfig(seed=1))
+        assert len(devices) == 9
+        assert sorted(world.node_ids) == list(range(9))
+
+    def test_mobility_node_count_must_match(self, dataset):
+        mob = StaticPlacement([(0.0, 0.0)] )
+        with pytest.raises(ValueError, match="partitions"):
+            build_network(dataset, SimulationConfig(seed=1), mobility=mob)
+
+    def test_strategy_selects_device_class(self, dataset):
+        from repro.protocol import BFDevice, DFDevice
+
+        _, _, bf = build_network(dataset, SimulationConfig(strategy="bf", seed=1))
+        _, _, df = build_network(dataset, SimulationConfig(strategy="df", seed=1))
+        assert all(isinstance(d, BFDevice) for d in bf)
+        assert all(isinstance(d, DFDevice) for d in df)
+
+
+class TestRun:
+    def test_records_collected(self, dataset):
+        wl = generate_workload(9, 300.0, 400.0, queries_per_device=(1, 1), seed=2)
+        result = run_manet_simulation(
+            dataset, wl, SimulationConfig(strategy="df", sim_time=300.0, seed=3)
+        )
+        assert result.issued >= 1
+        assert len(result.records) == result.issued
+        assert result.devices == 9
+        assert result.events > 0
+
+    def test_one_in_progress_rule_suppresses(self, dataset):
+        # Two immediate queries from the same device: second suppressed
+        # (DF completes fast but not instantaneously).
+        wl = [
+            QueryRequest(device=0, time=1.0, distance=400.0),
+            QueryRequest(device=0, time=1.0001, distance=400.0),
+        ]
+        result = run_manet_simulation(
+            dataset, wl, SimulationConfig(strategy="df", sim_time=100.0, seed=4)
+        )
+        assert result.issued == 1
+        assert result.suppressed == 1
+
+    def test_unknown_device_in_workload(self, dataset):
+        wl = [QueryRequest(device=50, time=0.0, distance=100.0)]
+        with pytest.raises(ValueError, match="device 50"):
+            run_manet_simulation(dataset, wl, SimulationConfig(seed=1))
+
+    def test_determinism(self, dataset):
+        wl = generate_workload(9, 200.0, 400.0, queries_per_device=(1, 1), seed=5)
+        runs = []
+        for _ in range(2):
+            result = run_manet_simulation(
+                dataset, wl,
+                SimulationConfig(strategy="bf", sim_time=200.0, seed=9),
+            )
+            runs.append(
+                (
+                    result.issued,
+                    result.events,
+                    result.traffic.transmissions,
+                    [
+                        (r.query.key, len(r.contributions), r.completion_time)
+                        for r in result.records
+                    ],
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_static_mobility_override(self, dataset):
+        positions = [dataset.grid.cell_center(i) for i in range(9)]
+        wl = [QueryRequest(device=4, time=1.0, distance=450.0)]
+        result = run_manet_simulation(
+            dataset, wl,
+            SimulationConfig(strategy="bf", sim_time=60.0, seed=1),
+            mobility=StaticPlacement(positions),
+        )
+        assert result.issued == 1
+
+    def test_max_events_cap(self, dataset):
+        wl = generate_workload(9, 300.0, 400.0, queries_per_device=(1, 1), seed=2)
+        result = run_manet_simulation(
+            dataset, wl,
+            SimulationConfig(strategy="bf", sim_time=300.0, seed=3),
+            max_events=10,
+        )
+        assert result.events <= 10

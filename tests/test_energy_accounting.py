@@ -1,0 +1,60 @@
+"""Tests for end-to-end energy accounting in simulations."""
+
+import pytest
+
+from repro.data import QueryRequest, make_global_dataset
+from repro.net import RadioConfig, StaticPlacement
+from repro.protocol import SimulationConfig, run_manet_simulation
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(4000, 2, 9, "independent", seed=55, value_step=1.0)
+
+
+def grid_static(dataset):
+    return StaticPlacement(
+        [dataset.grid.cell_center(i) for i in range(dataset.devices)]
+    )
+
+
+class TestEnergyAccounting:
+    def test_energy_recorded_per_device(self, dataset):
+        wl = [QueryRequest(device=4, time=1.0, distance=500.0)]
+        out = run_manet_simulation(
+            dataset, wl,
+            SimulationConfig(strategy="bf", sim_time=300.0, seed=1,
+                             radio=RadioConfig(radio_range=360.0)),
+            mobility=grid_static(dataset),
+        )
+        assert len(out.energy_joules) == 9
+        assert all(e >= 0 for e in out.energy_joules)
+        assert out.total_energy > 0
+
+    def test_idle_devices_spend_nothing(self, dataset):
+        """With no queries, no radio traffic and no skyline CPU."""
+        out = run_manet_simulation(
+            dataset, [],
+            SimulationConfig(strategy="bf", sim_time=100.0, seed=2),
+            mobility=grid_static(dataset),
+        )
+        assert out.total_energy == 0.0
+
+    def test_bf_spends_more_radio_energy_than_df(self, dataset):
+        """More transmissions -> more radio energy (the cost of BF's
+        parallelism the paper points at in Section 5.2.4)."""
+        totals = {}
+        for strategy in ("bf", "df"):
+            wl = [QueryRequest(device=4, time=1.0, distance=500.0)]
+            out = run_manet_simulation(
+                dataset, wl,
+                SimulationConfig(strategy=strategy, sim_time=300.0, seed=3,
+                                 radio=RadioConfig(radio_range=360.0)),
+                mobility=grid_static(dataset),
+            )
+            totals[strategy] = out.total_energy
+        assert totals["bf"] > totals["df"] * 0.5  # same order; BF not cheaper
+        # the dominant term is CPU, shared by both; radio-only comparison:
+        # BF floods m broadcasts + m unicasts vs DF's ~2m token hops, so
+        # total energy should not favour BF
+        assert totals["bf"] >= totals["df"] * 0.9

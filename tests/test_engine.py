@@ -1,0 +1,170 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.net import Simulator
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(9.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_fifo_among_simultaneous(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestRunControl:
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "at-5")
+        sim.schedule(6.0, fired.append, "at-6")
+        sim.run(until=5.0)
+        assert fired == ["at-5"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["at-5", "at-6"]
+
+    def test_run_until_advances_clock_when_drained(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        assert sim.step()
+        assert not sim.step()
+        assert fired == [1]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # must not raise
+
+
+class TestProcesses:
+    def test_generator_process(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield 2.0
+            trace.append(("mid", sim.now))
+            yield 3.0
+            trace.append(("end", sim.now))
+
+        p = sim.process(proc())
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+        assert p.finished
+
+    def test_process_stop(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            while True:
+                trace.append(sim.now)
+                yield 1.0
+
+        p = sim.process(proc())
+        sim.run(until=3.0)
+        p.stop()
+        sim.run(until=10.0)
+        assert len(trace) == 4  # t=0,1,2,3
+
+    def test_invalid_yield(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        with pytest.raises(ValueError):
+            sim.process(proc())
+
+
+class TestDeterminism:
+    def test_identical_replay(self):
+        def build():
+            sim = Simulator()
+            trace = []
+
+            def proc(tag, dt):
+                while sim.now < 20:
+                    trace.append((sim.now, tag))
+                    yield dt
+
+            sim.process(proc("a", 1.5))
+            sim.process(proc("b", 2.0))
+            sim.run(until=20.0)
+            return trace
+
+        assert build() == build()

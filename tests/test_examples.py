@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_paper_walkthrough(self):
+        out = run_example("paper_walkthrough.py")
+        assert "h21" in out
+        assert "980" in out  # VDR(h21)
+        assert "h14 and h16 are both pruned" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "distributed == centralized: True" in out
+
+    def test_tourist_restaurants(self):
+        out = run_example("tourist_restaurants.py")
+        assert "restaurants" in out
+        assert "best trade-off" in out
+
+    def test_storage_comparison(self):
+        out = run_example("storage_comparison.py")
+        assert "hybrid" in out
+        assert "ring" in out
+
+    @pytest.mark.slow
+    def test_manet_simulation(self):
+        out = run_example("manet_simulation.py", timeout=600.0)
+        assert "BF" in out and "DF" in out

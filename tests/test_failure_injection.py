@@ -1,0 +1,136 @@
+"""Failure injection: lossy links, partitions, and device churn.
+
+The system must degrade gracefully: queries terminate, and whatever
+result the originator assembles is internally consistent (a skyline of
+*some* subset of the reachable data, never containing dominated or
+duplicate tuples).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import skyline_of_relation
+from repro.data import QueryRequest, make_global_dataset
+from repro.net import RadioConfig, RandomWaypoint, StaticPlacement
+from repro.protocol import (
+    ProtocolConfig,
+    SimulationConfig,
+    run_manet_simulation,
+)
+from repro.storage import union_all
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(6000, 2, 9, "independent", seed=99, value_step=1.0)
+
+
+def assert_result_internally_consistent(record, dataset):
+    """No dominated tuples, no duplicate sites, all from real data."""
+    result = record.result
+    values = result.values
+    for i in range(result.cardinality):
+        others = np.delete(values, i, axis=0)
+        if others.shape[0]:
+            no_worse = (others <= values[i]).all(axis=1)
+            better = (others < values[i]).any(axis=1)
+            assert not (no_worse & better).any(), "dominated tuple in result"
+    locations = set(map(tuple, result.xy.tolist()))
+    assert len(locations) == result.cardinality, "duplicate site in result"
+    global_rows = set(
+        map(tuple, np.column_stack(
+            [dataset.global_relation.xy, dataset.global_relation.values]
+        ).tolist())
+    )
+    for row in map(tuple, np.column_stack([result.xy, values]).tolist()):
+        assert row in global_rows, "fabricated tuple in result"
+    # every returned site is within the query region
+    dx = result.xy[:, 0] - record.query.pos[0]
+    dy = result.xy[:, 1] - record.query.pos[1]
+    assert ((dx * dx + dy * dy) <= record.query.d**2 + 1e-6).all()
+
+
+@pytest.mark.parametrize("strategy", ["bf", "df"])
+class TestLossyLinks:
+    @pytest.mark.parametrize("loss_rate", [0.1, 0.4])
+    def test_queries_terminate_and_stay_consistent(
+        self, dataset, strategy, loss_rate
+    ):
+        wl = [QueryRequest(device=4, time=1.0, distance=600.0)]
+        config = SimulationConfig(
+            strategy=strategy,
+            sim_time=300.0,
+            radio=RadioConfig(loss_rate=loss_rate),
+            protocol=ProtocolConfig(query_timeout=200.0),
+            seed=17,
+        )
+        result = run_manet_simulation(dataset, wl, config)
+        assert result.issued == 1
+        record = result.records[0]
+        assert_result_internally_consistent(record, dataset)
+
+    def test_total_loss_still_terminates(self, dataset, strategy):
+        wl = [QueryRequest(device=4, time=1.0, distance=600.0)]
+        config = SimulationConfig(
+            strategy=strategy,
+            sim_time=300.0,
+            radio=RadioConfig(loss_rate=0.99),
+            protocol=ProtocolConfig(query_timeout=100.0),
+            seed=18,
+        )
+        result = run_manet_simulation(dataset, wl, config)
+        record = result.records[0]
+        # record must be closed by timeout (or completed), never stuck
+        assert record.closed or record.completion_time is not None
+        assert_result_internally_consistent(record, dataset)
+
+
+@pytest.mark.parametrize("strategy", ["bf", "df"])
+class TestPartitions:
+    def test_partitioned_result_covers_reachable_side(self, dataset, strategy):
+        # devices 0..4 clustered, 5..8 unreachable
+        positions = [
+            (100.0 + 150.0 * i, 100.0) if i <= 4 else (10_000.0 + i, 10_000.0)
+            for i in range(9)
+        ]
+        wl = [QueryRequest(device=0, time=1.0, distance=1.0e6)]
+        config = SimulationConfig(
+            strategy=strategy, sim_time=400.0,
+            protocol=ProtocolConfig(query_timeout=300.0), seed=19,
+        )
+        result = run_manet_simulation(
+            dataset, wl, config, mobility=StaticPlacement(positions)
+        )
+        record = result.records[0]
+        assert set(record.contributions).issubset({1, 2, 3, 4})
+        assert_result_internally_consistent(record, dataset)
+        # the reachable side's data is fully covered
+        reachable = union_all([dataset.local(i) for i in range(5)])
+        want = skyline_of_relation(
+            reachable.restrict(record.query.pos, record.query.d)
+        )
+        got_rows = set(map(tuple, record.result.values.tolist()))
+        for row in map(tuple, want.values.tolist()):
+            assert row in got_rows
+
+
+@pytest.mark.parametrize("strategy", ["bf", "df"])
+class TestMobilityChurn:
+    def test_fast_movement_remains_consistent(self, dataset, strategy):
+        """Very fast devices break routes mid-query; results must stay
+        internally consistent and queries must terminate."""
+        mobility = RandomWaypoint(
+            9, speed_range=(50.0, 100.0), holding_time=1.0, seed=20
+        )
+        wl = [
+            QueryRequest(device=d, time=1.0 + d, distance=500.0)
+            for d in range(4)
+        ]
+        config = SimulationConfig(
+            strategy=strategy, sim_time=400.0,
+            protocol=ProtocolConfig(query_timeout=120.0), seed=21,
+        )
+        result = run_manet_simulation(dataset, wl, config, mobility=mobility)
+        assert result.issued == 4
+        for record in result.records:
+            assert_result_internally_consistent(record, dataset)

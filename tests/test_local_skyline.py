@@ -1,0 +1,244 @@
+"""Tests for the Figure 4 local skyline algorithm across storage paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Estimation,
+    FilteringTuple,
+    SkylineQuery,
+    local_skyline,
+    local_skyline_vectorized,
+    select_filter,
+    skyline_bruteforce,
+    skyline_of_relation,
+)
+from repro.storage import (
+    DomainStorage,
+    FlatStorage,
+    HybridStorage,
+    Relation,
+    RingStorage,
+    SiteTuple,
+    uniform_schema,
+)
+
+QUERY = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=300.0)
+WIDE = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=1.0e9)
+
+
+def random_relation(n=150, dims=2, seed=0, distinct=20):
+    rng = np.random.default_rng(seed)
+    schema = uniform_schema(dims, low=0.0, high=1000.0)
+    values = (
+        rng.integers(0, distinct, size=(n, dims)).astype(float)
+        * (1000.0 / max(distinct - 1, 1))
+    )
+    xy = np.column_stack([rng.uniform(0, 1000, n), rng.uniform(0, 1000, n)])
+    return Relation(schema, xy, values)
+
+
+def result_key(res):
+    rel = res.skyline
+    return sorted(map(tuple, np.column_stack([rel.xy, rel.values]).tolist()))
+
+
+def random_filter(rel, seed=1):
+    rng = np.random.default_rng(seed)
+    vals = tuple(float(v) for v in rng.uniform(0, 600, rel.dimensions))
+    site = SiteTuple(x=-1.0, y=-1.0, values=vals)
+    return FilteringTuple(site=site, vdr=0.0)
+
+
+class TestAgreementAcrossPaths:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("use_filter", [False, True])
+    def test_all_paths_agree(self, seed, use_filter):
+        rel = random_relation(seed=seed)
+        flt = random_filter(rel, seed + 50) if use_filter else None
+        results = [
+            local_skyline(HybridStorage(rel), QUERY, flt),
+            local_skyline(FlatStorage(rel), QUERY, flt),
+            local_skyline(DomainStorage(rel), QUERY, flt),
+            local_skyline(RingStorage(rel), QUERY, flt),
+            local_skyline_vectorized(rel, QUERY, flt),
+        ]
+        keys = [result_key(r) for r in results]
+        assert all(k == keys[0] for k in keys)
+        sizes = {r.unreduced_size for r in results if r.skipped is None}
+        assert len(sizes) <= 1
+
+    @pytest.mark.parametrize("dims", [2, 3, 4])
+    def test_dims_agree(self, dims):
+        rel = random_relation(n=100, dims=dims, seed=dims)
+        a = local_skyline(HybridStorage(rel), QUERY)
+        b = local_skyline_vectorized(rel, QUERY)
+        assert result_key(a) == result_key(b)
+
+
+class TestCorrectness:
+    def test_matches_restrict_then_skyline(self):
+        rel = random_relation(seed=9)
+        res = local_skyline_vectorized(rel, QUERY)
+        expected = skyline_of_relation(rel.restrict(QUERY.pos, QUERY.d))
+        assert result_key(res) == sorted(
+            map(tuple, np.column_stack([expected.xy, expected.values]).tolist())
+        )
+
+    def test_unfiltered_unreduced_equals_reduced(self):
+        rel = random_relation(seed=10)
+        res = local_skyline_vectorized(rel, QUERY)
+        assert res.unreduced_size == res.reduced_size
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_filter_never_removes_global_skyline_member(self, seed):
+        """Safety: a filtering tuple from *real data elsewhere* must never
+        prune a tuple that belongs to the combined skyline."""
+        rel_a = random_relation(n=60, seed=seed)
+        rel_b = random_relation(n=60, seed=seed + 10_000)
+        sky_b = skyline_of_relation(rel_b.restrict(WIDE.pos, WIDE.d))
+        if sky_b.cardinality == 0:
+            return
+        flt = select_filter(sky_b, Estimation.EXACT)
+        res = local_skyline_vectorized(rel_a, WIDE, flt)
+        combined = skyline_of_relation(rel_a.union(rel_b))
+        kept = set(map(tuple, res.skyline.values.tolist()))
+        # every combined-skyline member coming from rel_a must be kept
+        a_rows = set(map(tuple, rel_a.values.tolist()))
+        for row in map(tuple, combined.values.tolist()):
+            if row in a_rows:
+                assert row in kept
+
+
+class TestSkips:
+    def test_mbr_skip(self):
+        rel = random_relation(seed=11)
+        far = SkylineQuery(origin=0, cnt=0, pos=(50_000.0, 50_000.0), d=10.0)
+        for storage in (HybridStorage(rel), FlatStorage(rel)):
+            res = local_skyline(storage, far)
+            assert res.skipped == "mbr"
+            assert res.reduced_size == 0
+        res = local_skyline_vectorized(rel, far)
+        assert res.skipped == "mbr"
+
+    def test_dominated_skip_hybrid(self):
+        rel = random_relation(seed=12)
+        site = SiteTuple(x=-1, y=-1, values=(-5.0, -5.0))
+        flt = FilteringTuple(site=site, vdr=1e9)
+        res = local_skyline(HybridStorage(rel), WIDE, flt)
+        assert res.skipped == "dominated"
+        assert res.reduced_size == 0
+        # faithful path: never computed the skyline
+        assert res.unreduced_size == 0
+
+    def test_dominated_skip_vectorized_annotates_unreduced(self):
+        rel = random_relation(seed=12)
+        site = SiteTuple(x=-1, y=-1, values=(-5.0, -5.0))
+        flt = FilteringTuple(site=site, vdr=1e9)
+        res = local_skyline_vectorized(rel, WIDE, flt)
+        assert res.skipped == "dominated"
+        assert res.reduced_size == 0
+        # metric annotation: the true |SK_i| for the DRR formula
+        expected = skyline_of_relation(rel).cardinality
+        assert res.unreduced_size == expected
+
+    def test_tie_on_all_attributes_is_not_dominated_skip(self):
+        """A filter exactly equal to the local lows must NOT wipe the
+        relation: an equal-valued local tuple is a distinct site and
+        belongs in the skyline."""
+        schema = uniform_schema(2, high=10.0)
+        rel = Relation.from_rows(schema, [(1, 1, 3, 3), (2, 2, 5, 5)])
+        flt = FilteringTuple(
+            site=SiteTuple(x=-1, y=-1, values=(3.0, 3.0)), vdr=0.0
+        )
+        for res in (
+            local_skyline(HybridStorage(rel), WIDE, flt),
+            local_skyline(FlatStorage(rel), WIDE, flt),
+            local_skyline_vectorized(rel, WIDE, flt),
+        ):
+            assert res.skipped != "dominated"
+            assert (3.0, 3.0) in set(map(tuple, res.skyline.values.tolist()))
+
+    def test_same_site_duplicate_of_filter_removed(self):
+        schema = uniform_schema(2, high=10.0)
+        rel = Relation.from_rows(schema, [(7, 7, 3, 3), (2, 2, 1, 5)])
+        flt = FilteringTuple(
+            site=SiteTuple(x=7.0, y=7.0, values=(3.0, 3.0)), vdr=0.0
+        )
+        for res in (
+            local_skyline(HybridStorage(rel), WIDE, flt),
+            local_skyline(FlatStorage(rel), WIDE, flt),
+            local_skyline_vectorized(rel, WIDE, flt),
+        ):
+            kept = set(map(tuple, np.column_stack(
+                [res.skyline.xy, res.skyline.values]).tolist()))
+            assert (7.0, 7.0, 3.0, 3.0) not in kept
+
+    def test_empty_relation(self, schema2):
+        rel = Relation.empty(schema2)
+        res = local_skyline(HybridStorage(rel), WIDE)
+        assert res.reduced_size == 0 and res.skipped == "mbr"
+
+
+class TestFilterPromotion:
+    def test_promotes_stronger_local_tuple(self):
+        schema = uniform_schema(2, high=10.0)
+        rel = Relation.from_rows(schema, [(1, 1, 1, 1)])
+        weak = FilteringTuple(
+            site=SiteTuple(x=-1, y=-1, values=(9.0, 9.0)), vdr=1.0
+        )
+        res = local_skyline(HybridStorage(rel), WIDE, weak,
+                            estimation=Estimation.EXACT)
+        assert res.updated_filter.values == (1.0, 1.0)
+
+    def test_keeps_stronger_incoming(self):
+        schema = uniform_schema(2, high=10.0)
+        rel = Relation.from_rows(schema, [(1, 1, 8, 8)])
+        strong = FilteringTuple(
+            site=SiteTuple(x=-1, y=-1, values=(2.0, 2.0)), vdr=64.0
+        )
+        res = local_skyline(HybridStorage(rel), WIDE, strong,
+                            estimation=Estimation.EXACT)
+        assert res.updated_filter.values == (2.0, 2.0)
+
+    def test_no_filter_yields_candidate(self):
+        rel = random_relation(seed=20)
+        res = local_skyline(HybridStorage(rel), WIDE, None)
+        assert res.updated_filter is not None
+
+    def test_incoming_vdr_reevaluated_under_local_bounds(self):
+        """Promotion compares VDRs under *this* device's bounds, not the
+        stale score computed elsewhere."""
+        schema = uniform_schema(2, high=10.0)
+        rel = Relation.from_rows(schema, [(1, 1, 4, 4)])
+        # Incoming filter claims a huge stale VDR but its values are weak.
+        stale = FilteringTuple(
+            site=SiteTuple(x=-1, y=-1, values=(9.0, 9.0)), vdr=1e9
+        )
+        res = local_skyline(HybridStorage(rel), WIDE, stale,
+                            estimation=Estimation.EXACT)
+        assert res.updated_filter.values == (4.0, 4.0)
+
+
+class TestCounters:
+    def test_hybrid_counts_id_comparisons(self):
+        rel = random_relation(seed=30)
+        res = local_skyline(HybridStorage(rel), WIDE)
+        assert res.comparisons.id_comparisons > 0
+        assert res.comparisons.distance_checks == rel.cardinality
+
+    def test_flat_counts_value_comparisons(self):
+        rel = random_relation(seed=30)
+        res = local_skyline(FlatStorage(rel), WIDE)
+        assert res.comparisons.value_comparisons > 0
+
+    def test_pointer_storages_count_indirections(self):
+        rel = random_relation(seed=30)
+        ds, rs = DomainStorage(rel), RingStorage(rel)
+        local_skyline(ds, WIDE)
+        local_skyline(rs, WIDE)
+        assert ds.stats.indirections > 0
+        assert rs.stats.indirections >= ds.stats.indirections

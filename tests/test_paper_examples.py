@@ -1,0 +1,173 @@
+"""The paper's worked examples, asserted end to end.
+
+Tables 2-5 define four hotel relations; Sections 3.2 and 3.4 walk
+through filter selection, pruning, and dynamic promotion on them. These
+tests pin our implementation to the paper's own numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Estimation,
+    FilteringTuple,
+    estimation_bounds,
+    local_skyline,
+    select_filter,
+    skyline_of_relation,
+    vdr,
+)
+from repro.core.query import SkylineQuery
+from repro.storage import (
+    AttributeSpec,
+    HybridStorage,
+    Relation,
+    RelationSchema,
+    SiteTuple,
+)
+
+# Global bounds assumed in Section 3.2: price <= 200, rating <= 10.
+SCHEMA = RelationSchema(
+    attributes=(
+        AttributeSpec("price", 0.0, 200.0),
+        AttributeSpec("rating", 0.0, 10.0),
+    ),
+    spatial_extent=(0.0, 0.0, 1000.0, 1000.0),
+)
+
+# Locations are synthetic (the paper's example has none); chosen distinct.
+R1 = Relation.from_rows(SCHEMA, [   # Table 2
+    (10, 10, 20, 7),    # h11
+    (10, 20, 40, 5),    # h12
+    (10, 30, 80, 7),    # h13
+    (10, 40, 80, 4),    # h14
+    (10, 50, 100, 7),   # h15
+    (10, 60, 100, 3),   # h16
+])
+R2 = Relation.from_rows(SCHEMA, [   # Table 3
+    (20, 10, 60, 3),    # h21
+    (20, 20, 90, 2),    # h22
+    (20, 30, 120, 1),   # h23
+    (20, 40, 140, 2),   # h24
+    (20, 50, 100, 4),   # h25
+])
+R3 = Relation.from_rows(SCHEMA, [   # Table 4
+    (30, 10, 60, 3),    # h31
+    (30, 20, 80, 5),    # h32
+    (30, 30, 120, 4),   # h33
+])
+R4 = Relation.from_rows(SCHEMA, [   # Table 5
+    (40, 10, 80, 2),    # h41
+    (40, 20, 120, 1),   # h42
+    (40, 30, 140, 2),   # h43
+])
+
+ANYWHERE = SkylineQuery(origin=0, cnt=0, pos=(0.0, 0.0), d=1.0e9)
+
+
+def values_of(rel: Relation):
+    return sorted(map(tuple, rel.values.tolist()))
+
+
+class TestLocalSkylines:
+    def test_skyline_of_r1(self):
+        """Paper: the skyline on M1 is {h11, h12, h14, h16}."""
+        sky = skyline_of_relation(R1)
+        assert values_of(sky) == [(20, 7), (40, 5), (80, 4), (100, 3)]
+
+    def test_skyline_of_r2(self):
+        """Paper: the skyline on M2 is {h21, h22, h23}."""
+        sky = skyline_of_relation(R2)
+        assert values_of(sky) == [(60, 3), (90, 2), (120, 1)]
+
+    def test_skyline_of_r3(self):
+        """Paper: the local skyline on M3 is {h31}."""
+        sky = skyline_of_relation(R3)
+        assert values_of(sky) == [(60, 3)]
+
+    def test_skyline_of_r4(self):
+        """Paper: the local skyline on M4 is {h41, h42}."""
+        sky = skyline_of_relation(R4)
+        assert values_of(sky) == [(80, 2), (120, 1)]
+
+
+class TestSection32Example:
+    """M2 originates; its filter eliminates h14 and h16 on M1."""
+
+    def test_vdr_values(self):
+        bounds = (200.0, 10.0)
+        assert vdr((60, 3), bounds) == 980.0    # h21
+        assert vdr((90, 2), bounds) == 880.0    # h22
+        assert vdr((120, 1), bounds) == 720.0   # h23
+
+    def test_h21_chosen_as_filter(self):
+        sky2 = skyline_of_relation(R2)
+        flt = select_filter(sky2, Estimation.EXACT)
+        assert flt.values == (60.0, 3.0)
+        assert flt.vdr == 980.0
+
+    def test_filter_eliminates_h14_h16(self):
+        sky2 = skyline_of_relation(R2)
+        flt = select_filter(sky2, Estimation.EXACT)
+        result = local_skyline(
+            HybridStorage(R1), ANYWHERE, flt, estimation=Estimation.EXACT
+        )
+        # SK1 = {h11,h12,h14,h16}; h21=(60,3) dominates h14=(80,4) and
+        # h16=(100,3)? (60<=100, 3<=3, strictly better in price) -> yes.
+        assert result.unreduced_size == 4
+        assert values_of(result.skyline) == [(20, 7), (40, 5)]
+
+    def test_savings_accounting(self):
+        """Transfer reduced by two tuples; net savings one tuple
+        (|SK_i| - |SK'_i| - 1 = 4 - 2 - 1 = 1)."""
+        sky2 = skyline_of_relation(R2)
+        flt = select_filter(sky2, Estimation.EXACT)
+        result = local_skyline(
+            HybridStorage(R1), ANYWHERE, flt, estimation=Estimation.EXACT
+        )
+        assert result.unreduced_size - result.reduced_size - 1 == 1
+
+
+class TestSection34DynamicExample:
+    """M4 originates via intermediate M3 toward M1 (Tables 2, 4, 5)."""
+
+    def test_h41_initial_filter(self):
+        sky4 = skyline_of_relation(R4)
+        flt = select_filter(sky4, Estimation.EXACT)
+        # VDR(h41)=(200-80)(10-2)=960 > VDR(h42)=(200-120)(10-1)=720
+        assert flt.values == (80.0, 2.0)
+
+    def test_static_filter_eliminates_only_h16(self):
+        sky4 = skyline_of_relation(R4)
+        flt = select_filter(sky4, Estimation.EXACT)
+        result = local_skyline(
+            HybridStorage(R1), ANYWHERE, flt, estimation=Estimation.EXACT
+        )
+        # h41=(80,2) dominates h16=(100,3) only (h14=(80,4): price ties,
+        # rating worse -> dominated too? (80<=80, 2<=4, strict in rating)
+        # -> h41 dominates h14 as well! The paper says "it will eliminate
+        # h16 only", because its pseudocode uses strict comparisons on
+        # every attribute; with exact dominance h14 is also pruned.
+        assert (100.0, 3.0) not in set(map(tuple, result.skyline.values.tolist()))
+
+    def test_dynamic_promotion_to_h31(self):
+        """At M3, h31 (VDR 980) replaces h41 (VDR 960)."""
+        sky4 = skyline_of_relation(R4)
+        flt4 = select_filter(sky4, Estimation.EXACT)
+        result3 = local_skyline(
+            HybridStorage(R3), ANYWHERE, flt4, estimation=Estimation.EXACT
+        )
+        assert result3.updated_filter.values == (60.0, 3.0)
+        assert result3.updated_filter.vdr == 980.0
+
+    def test_promoted_filter_eliminates_h14_and_h16(self):
+        sky4 = skyline_of_relation(R4)
+        flt4 = select_filter(sky4, Estimation.EXACT)
+        result3 = local_skyline(
+            HybridStorage(R3), ANYWHERE, flt4, estimation=Estimation.EXACT
+        )
+        result1 = local_skyline(
+            HybridStorage(R1), ANYWHERE, result3.updated_filter,
+            estimation=Estimation.EXACT,
+        )
+        assert values_of(result1.skyline) == [(20, 7), (40, 5)]

@@ -1,0 +1,176 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Deeper invariants than the per-module suites: end-to-end distributed
+correctness under arbitrary layouts, hybrid-storage encode/decode laws,
+filter-safety across estimation modes, and merge algebra.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Estimation,
+    FilteringTuple,
+    SkylineQuery,
+    local_skyline_vectorized,
+    merge_skylines,
+    select_filter,
+    skyline_of_relation,
+)
+from repro.protocol.static_grid import StaticGridCache, run_static_query
+from repro.data import make_global_dataset
+from repro.storage import HybridStorage, Relation, SiteTuple, uniform_schema
+
+# -- strategies -------------------------------------------------------------
+
+small_relation_args = st.tuples(
+    st.integers(min_value=1, max_value=40),   # rows
+    st.integers(min_value=1, max_value=4),    # dims
+    st.integers(min_value=0, max_value=10**6),  # seed
+)
+
+
+def build_relation(rows, dims, seed, distinct=6):
+    rng = np.random.default_rng(seed)
+    schema = uniform_schema(dims, high=float(distinct))
+    values = rng.integers(0, distinct + 1, size=(rows, dims)).astype(float)
+    xy = rng.uniform(0, 1000, size=(rows, 2))
+    return Relation(schema, xy, values)
+
+
+# -- hybrid storage laws ------------------------------------------------------
+
+
+class TestHybridStorageLaws:
+    @given(small_relation_args)
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_roundtrip(self, args):
+        rel = build_relation(*args)
+        hs = HybridStorage(rel)
+        vm = hs.values_matrix()
+        for row in range(min(rel.cardinality, 10)):
+            ids = tuple(int(i) for i in hs.ids[row])
+            assert hs.encode_values(hs.decode_ids(ids)) == ids
+
+    @given(small_relation_args)
+    @settings(max_examples=40, deadline=None)
+    def test_skyline_on_ids_equals_skyline_on_values(self, args):
+        """Computing the skyline in ID space is exactly equivalent to
+        computing it on raw values — the core Section 4.2 claim."""
+        rel = build_relation(*args)
+        hs = HybridStorage(rel)
+        from repro.core import skyline_bruteforce
+
+        by_value = skyline_bruteforce(hs.values_matrix())
+        by_id = skyline_bruteforce(hs.ids.astype(float))
+        assert np.array_equal(by_value, by_id)
+
+    @given(small_relation_args, st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_encoding_law(self, args, probe_seed):
+        rel = build_relation(*args)
+        hs = HybridStorage(rel)
+        rng = np.random.default_rng(probe_seed)
+        probe = tuple(float(v) for v in rng.uniform(-2, 9, rel.dimensions))
+        thr = hs.encode_threshold(probe)
+        vm = hs.values_matrix()
+        for row in range(min(rel.cardinality, 10)):
+            for j in range(rel.dimensions):
+                assert (hs.ids[row, j] >= thr[j]) == (vm[row, j] >= probe[j])
+
+
+# -- filter safety across estimations ---------------------------------------
+
+
+class TestFilterSafety:
+    @given(
+        st.integers(0, 10**6),
+        st.sampled_from(list(Estimation)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_filter_preserves_union_skyline(self, seed, estimation):
+        """For ANY estimation mode, filtering must preserve every member
+        of the union skyline that lives on the filtered device."""
+        rel_a = build_relation(30, 3, seed)
+        rel_b = build_relation(30, 3, seed + 1)
+        query = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=1e9)
+        sky_b = skyline_of_relation(rel_b)
+        if sky_b.cardinality == 0:
+            return
+        flt = select_filter(sky_b, estimation, local_highs=(
+            rel_b.normalized_worst() if estimation is Estimation.UNDER else None
+        ))
+        res = local_skyline_vectorized(rel_a, query, flt, estimation=estimation)
+        combined = skyline_of_relation(rel_a.union(rel_b))
+        kept_sites = {(s.x, s.y) for s in res.skyline.rows()}
+        a_sites = {(float(x), float(y)) for x, y in rel_a.xy}
+        b_sites = {(float(x), float(y)) for x, y in rel_b.xy}
+        for site in combined.rows():
+            key = (site.x, site.y)
+            if key in a_sites and key not in b_sites:
+                # a tuple only device A holds must survive A's filter
+                if res.skipped != "dominated":
+                    assert key in kept_sites
+                else:
+                    # a dominated-skip wipes everything; it is only safe
+                    # if no union-skyline member lived uniquely on A
+                    pytest.fail(
+                        "dominated-skip removed a union skyline member"
+                    )
+
+
+# -- merge algebra -----------------------------------------------------------
+
+
+class TestMergeAlgebra:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_idempotent(self, seed):
+        rel = skyline_of_relation(build_relation(25, 2, seed))
+        merged = merge_skylines(rel, rel)
+        assert sorted(map(tuple, merged.xy.tolist())) == sorted(
+            map(tuple, rel.xy.tolist())
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_commutative_as_sets(self, seed):
+        a = skyline_of_relation(build_relation(20, 2, seed))
+        b = skyline_of_relation(build_relation(20, 2, seed + 99))
+        ab = merge_skylines(a, b)
+        ba = merge_skylines(b, a)
+        key = lambda r: sorted(
+            map(tuple, np.column_stack([r.xy, r.values]).tolist())
+        )
+        assert key(ab) == key(ba)
+
+
+# -- distributed correctness over random partitionings -----------------------
+
+
+class TestDistributedCorrectness:
+    @given(
+        st.integers(0, 10**6),
+        st.sampled_from([9, 16, 25]),
+        st.sampled_from(["independent", "anticorrelated"]),
+        st.booleans(),
+        st.sampled_from(list(Estimation)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_static_grid_always_returns_global_skyline(
+        self, seed, devices, distribution, dynamic, estimation
+    ):
+        dataset = make_global_dataset(
+            1500, 2, devices, distribution, seed=seed, value_step=1.0
+        )
+        cache = StaticGridCache(dataset)
+        outcome = run_static_query(
+            dataset, originator=seed % devices,
+            dynamic_filter=dynamic, estimation=estimation, cache=cache,
+        )
+        want = skyline_of_relation(dataset.global_relation)
+        assert sorted(map(tuple, outcome.result.values.tolist())) == sorted(
+            map(tuple, want.values.tolist())
+        )

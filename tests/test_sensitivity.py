@@ -1,0 +1,48 @@
+"""Tests for the sensitivity-analysis sweeps (smoke scale)."""
+
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.sensitivity import (
+    cpu_sweep,
+    radio_range_sweep,
+    speed_sweep,
+)
+
+
+class TestSweeps:
+    def test_radio_range_sweep_structure(self):
+        fig = radio_range_sweep(ranges=(150.0, 400.0), scale=SMOKE)
+        assert fig.x_values == [150.0, 400.0]
+        assert [s.name for s in fig.series] == ["BF", "DF"]
+
+    def test_longer_range_reaches_more_devices(self):
+        fig = radio_range_sweep(
+            ranges=(120.0, 400.0), scale=SMOKE, metric="participants"
+        )
+        for name in ("BF", "DF"):
+            low, high = fig.get(name)
+            if low is not None and high is not None:
+                assert high >= low
+
+    def test_cpu_sweep_slower_cpu_slower_response(self):
+        fig = cpu_sweep(slowdowns=(0.1, 10.0), scale=SMOKE)
+        for name in ("BF", "DF"):
+            fast, slow = fig.get(name)
+            assert fast is not None and slow is not None
+            assert slow > fast
+
+    def test_cpu_sweep_df_hurts_more(self):
+        """Serial DF amplifies CPU slowdown more than parallel BF."""
+        fig = cpu_sweep(slowdowns=(0.1, 10.0), scale=SMOKE)
+        bf_fast, bf_slow = fig.get("BF")
+        df_fast, df_slow = fig.get("DF")
+        assert (df_slow - df_fast) > (bf_slow - bf_fast)
+
+    def test_speed_sweep_runs(self):
+        fig = speed_sweep(speeds=(2.0, 30.0), scale=SMOKE)
+        assert len(fig.series) == 2
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            radio_range_sweep(ranges=(250.0,), scale=SMOKE, metric="qps")

@@ -1,0 +1,104 @@
+"""Tests for the static-grid pre-test runner (Section 5.2.2-I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Estimation, skyline_of_relation
+from repro.data import make_global_dataset
+from repro.metrics import data_reduction_rate
+from repro.protocol import run_static_grid, run_static_query
+from repro.protocol.static_grid import StaticGridCache
+from repro.storage import union_all
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(8000, 2, 9, "independent", seed=55, value_step=1.0)
+
+
+@pytest.fixture(scope="module")
+def cache(dataset):
+    return StaticGridCache(dataset)
+
+
+class TestCorrectness:
+    def test_result_is_global_skyline(self, dataset, cache):
+        """Distance is ignored, so every query must return the skyline of
+        the whole global relation."""
+        want = sorted(
+            map(tuple, skyline_of_relation(dataset.global_relation).values.tolist())
+        )
+        for originator in range(dataset.devices):
+            outcome = run_static_query(dataset, originator, cache=cache)
+            got = sorted(map(tuple, outcome.result.values.tolist()))
+            assert got == want
+
+    @pytest.mark.parametrize("estimation", list(Estimation))
+    @pytest.mark.parametrize("dynamic", [True, False])
+    def test_all_variants_correct(self, dataset, cache, estimation, dynamic):
+        outcome = run_static_query(
+            dataset, 4, dynamic_filter=dynamic, estimation=estimation, cache=cache
+        )
+        want = sorted(
+            map(tuple, skyline_of_relation(dataset.global_relation).values.tolist())
+        )
+        assert sorted(map(tuple, outcome.result.values.tolist())) == want
+
+    def test_straightforward_strategy_correct(self, dataset, cache):
+        outcome = run_static_query(dataset, 0, use_filter=False, cache=cache)
+        want = sorted(
+            map(tuple, skyline_of_relation(dataset.global_relation).values.tolist())
+        )
+        assert sorted(map(tuple, outcome.result.values.tolist())) == want
+
+    @given(st.sampled_from(list(Estimation)), st.booleans(),
+           st.integers(0, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_cache_equals_uncached(self, dataset, cache, estimation, dynamic,
+                                   originator):
+        a = run_static_query(dataset, originator, dynamic_filter=dynamic,
+                             estimation=estimation)
+        b = run_static_query(dataset, originator, dynamic_filter=dynamic,
+                             estimation=estimation, cache=cache)
+        assert [(c.device, c.unreduced_size, c.reduced_size)
+                for c in a.contributions] == [
+            (c.device, c.unreduced_size, c.reduced_size)
+            for c in b.contributions
+        ]
+
+
+class TestAccounting:
+    def test_every_other_device_contributes_once(self, dataset, cache):
+        outcome = run_static_query(dataset, 4, cache=cache)
+        devices = [c.device for c in outcome.contributions]
+        assert sorted(devices) == [0, 1, 2, 3, 5, 6, 7, 8]
+
+    def test_unfiltered_sizes_match_cache(self, dataset, cache):
+        outcome = run_static_query(dataset, 4, use_filter=False, cache=cache)
+        for c in outcome.contributions:
+            assert c.unreduced_size == cache.skylines[c.device].cardinality
+            assert c.reduced_size == c.unreduced_size
+
+    def test_filter_only_ever_shrinks(self, dataset, cache):
+        outcome = run_static_query(dataset, 4, cache=cache)
+        for c in outcome.contributions:
+            assert c.reduced_size <= c.unreduced_size
+
+    def test_dynamic_filter_drr_at_least_single(self, dataset, cache):
+        """Dynamic promotion can only improve (or tie) pooled DRR on the
+        same dataset — the filter is never replaced by a weaker one."""
+        sf = run_static_grid(dataset, dynamic_filter=False,
+                             estimation=Estimation.EXACT, cache=cache)
+        df = run_static_grid(dataset, dynamic_filter=True,
+                             estimation=Estimation.EXACT, cache=cache)
+        assert data_reduction_rate(df) >= data_reduction_rate(sf) - 0.02
+
+    def test_invalid_originator(self, dataset):
+        with pytest.raises(ValueError):
+            run_static_query(dataset, 99)
+
+    def test_run_static_grid_subset_of_originators(self, dataset, cache):
+        outcomes = run_static_grid(dataset, originators=[0, 4], cache=cache)
+        assert [o.originator for o in outcomes] == [0, 4]

@@ -1,0 +1,118 @@
+"""Tests for the simulation tracer."""
+
+import pytest
+
+from repro.net import (
+    Frame,
+    FrameKind,
+    RadioConfig,
+    Simulator,
+    StaticPlacement,
+    World,
+)
+from repro.net.trace import TraceEvent, Tracer
+
+
+class Sink:
+    def __init__(self, world, node_id):
+        self.node_id = node_id
+        world.attach(self)
+
+    def on_frame(self, frame, sender):
+        pass
+
+
+def make_world():
+    sim = Simulator()
+    world = World(sim, StaticPlacement([(0, 0), (100, 0), (900, 0)]),
+                  RadioConfig(radio_range=250.0))
+    nodes = [Sink(world, i) for i in range(3)]
+    return sim, world, nodes
+
+
+class TestTracer:
+    def test_records_send_and_delivery(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1, size_bytes=42))
+        sim.run()
+        sent = tracer.filter(kind="frame-sent")
+        delivered = tracer.filter(kind="frame-delivered")
+        assert len(sent) == 1 and len(delivered) == 1
+        assert sent[0].detail["bytes"] == 42
+        assert delivered[0].node == 1
+        assert delivered[0].time > sent[0].time
+
+    def test_drop_not_delivered(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=2))  # out of range
+        sim.run()
+        assert len(tracer.filter(kind="frame-sent")) == 1
+        assert tracer.filter(kind="frame-delivered") == []
+
+    def test_broadcast_records_each_delivery(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.broadcast(Frame(kind=FrameKind.QUERY, src=0, dst=None))
+        sim.run()
+        assert len(tracer.filter(kind="frame-sent")) == 1
+        assert len(tracer.filter(kind="frame-delivered")) == 1  # node 1 only
+
+    def test_emit_application_events(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        sim.schedule(5.0, tracer.emit, "query-issued", 0)
+        sim.run()
+        events = tracer.filter(kind="query-issued")
+        assert len(events) == 1
+        assert events[0].time == 5.0
+
+    def test_filter_by_frame_kind_and_node(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        world.send(Frame(kind=FrameKind.TOKEN, src=1, dst=0))
+        sim.run()
+        assert len(tracer.filter(frame_kind="token")) == 2  # sent + delivered
+        assert len(tracer.filter(kind="frame-sent", node=1)) == 1
+
+    def test_capacity_ring(self):
+        sim, world, _ = make_world()
+        tracer = Tracer(capacity=3).install(world)
+        for _ in range(5):
+            world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        assert len(tracer) == 3
+        assert tracer.dropped_events > 0
+
+    def test_render(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1, size_bytes=9))
+        sim.run()
+        text = tracer.render()
+        assert "frame-sent" in text and "bytes=9" in text
+
+    def test_double_install_rejected(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        with pytest.raises(RuntimeError):
+            tracer.install(world)
+
+    def test_emit_before_install_rejected(self):
+        with pytest.raises(RuntimeError):
+            Tracer().emit("x")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_traffic_stats_still_counted(self):
+        """The tracer composes with, not replaces, the accounting."""
+        sim, world, _ = make_world()
+        Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        assert world.stats.transmissions == 1
+        assert world.stats.deliveries == 1
