@@ -14,6 +14,8 @@ The package is organised as the paper is:
 * :mod:`repro.protocol` — the distributed query strategies: breadth-first
   flooding, depth-first token passing, and the static-grid pre-tests.
 * :mod:`repro.devices` — the calibrated PDA cost model and energy meter.
+* :mod:`repro.faults` — deterministic fault injection: device churn,
+  link blackouts, and bursty loss windows.
 * :mod:`repro.metrics` — DRR (Formula 1), response time, message counts.
 * :mod:`repro.experiments` — one module per figure of Section 5.
 
@@ -61,6 +63,7 @@ from .data import (
     make_global_dataset,
 )
 from .devices import PDA_2006, DeviceCostModel, EnergyMeter, EnergyModel
+from .faults import FaultEvent, FaultInjector, FaultSchedule
 from .metrics import (
     bf_response_time,
     collect_metrics,
@@ -115,6 +118,9 @@ __all__ = [
     "EnergyMeter",
     "EnergyModel",
     "Estimation",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "FilteringTuple",
     "FlatStorage",
     "GlobalDataset",

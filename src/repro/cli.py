@@ -53,6 +53,12 @@ _FIGURES: Dict[str, List[Callable]] = {
         lambda scale: ex.speed_sweep(scale=scale),
         lambda scale: ex.cpu_sweep(scale=scale),
     ],
+    "faults": [
+        lambda scale: ex.fault_loss_sweep(scale=scale, metric="coverage"),
+        lambda scale: ex.fault_loss_sweep(scale=scale, metric="response"),
+        lambda scale: ex.fault_churn_sweep(scale=scale, metric="coverage"),
+        lambda scale: ex.fault_churn_sweep(scale=scale, metric="response"),
+    ],
 }
 _FIGURES["all"] = [
     fn

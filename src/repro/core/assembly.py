@@ -12,7 +12,7 @@ results en route.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

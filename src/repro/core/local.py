@@ -27,7 +27,6 @@ the large simulation experiments.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -38,8 +37,7 @@ from ..storage.base import StorageModel
 from ..storage.flat import FlatStorage
 from ..storage.hybrid import HybridStorage
 from ..storage.relation import Relation
-from ..storage.schema import SiteTuple
-from .dominance import ComparisonCounter, dominates_values
+from .dominance import ComparisonCounter
 from .filtering import (
     Estimation,
     FilteringTuple,
@@ -265,8 +263,8 @@ def _local_skyline_values(
     if flt is not None:
         lows = storage.local_bounds()[0]
         counter.count_value(dims)
-        if all(f <= l for f, l in zip(flt.values, lows)) and any(
-            f < l for f, l in zip(flt.values, lows)
+        if all(f <= lo for f, lo in zip(flt.values, lows)) and any(
+            f < lo for f, lo in zip(flt.values, lows)
         ):
             return LocalSkylineResult(
                 skyline=empty, unreduced_size=0, skipped="dominated",

@@ -19,14 +19,13 @@ exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.spatial import mindist_point_rect
 from ..storage.relation import Relation
-from .dominance import ComparisonCounter
 from .filtering import (
     Estimation,
     FilteringTuple,
@@ -34,9 +33,7 @@ from .filtering import (
     normalize_values,
     select_filter_set,
     vdr,
-    vdr_matrix,
 )
-from .local import LocalSkylineResult
 from .query import SkylineQuery
 from .skyline import skyline_numpy
 

@@ -24,7 +24,7 @@ handled by :mod:`repro.core.assembly` on the query originator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

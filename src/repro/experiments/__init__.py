@@ -1,6 +1,7 @@
 """Experiment harness: one module per figure family of Section 5."""
 
 from .config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
+from .fault_sweep import fault_churn_sweep, fault_loss_sweep, run_fault_point
 from .local_processing import figure_5a, figure_5b, measure_local_time
 from .manet_common import ManetPoint, clear_run_cache, run_manet_point
 from .manet_drr import (
@@ -47,6 +48,8 @@ __all__ = [
     "ascii_plot",
     "clear_run_cache",
     "cpu_sweep",
+    "fault_churn_sweep",
+    "fault_loss_sweep",
     "figure_5a",
     "figure_5b",
     "figure_6a",
@@ -75,6 +78,7 @@ __all__ = [
     "measure_local_time",
     "radio_range_sweep",
     "render_table",
+    "run_fault_point",
     "run_manet_point",
     "speed_sweep",
     "static_drr_series",

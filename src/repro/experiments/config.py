@@ -13,7 +13,7 @@ Three scales are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 __all__ = ["ExperimentScale", "PAPER", "DEFAULT", "SMOKE", "get_scale"]

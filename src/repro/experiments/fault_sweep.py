@@ -1,0 +1,136 @@
+"""Degradation curves under injected faults (beyond the paper).
+
+The paper's evaluation assumes every device stays up; these sweeps ask
+how gracefully each strategy degrades when they don't:
+
+* :func:`fault_loss_sweep` — coverage (or response time) vs. the
+  independent frame-loss rate. BF's redundancy (every device replies
+  directly, now with ACK'd retransmission) should degrade gently; DF's
+  single token is fragile, but the originator's watchdog re-issues it.
+* :func:`fault_churn_sweep` — coverage (or response time) vs. the
+  fraction of devices that crash (and later recover) mid-run.
+
+Each returns a :class:`~repro.experiments.runner.FigureResult` so the
+CLI/report tooling applies unchanged, and each derives its fault
+schedule deterministically from the scale seed — rerunning a sweep
+replays the identical churn.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.filtering import Estimation
+from ..data.partition import make_global_dataset
+from ..data.workload import generate_workload
+from ..faults import FaultSchedule
+from ..metrics.collector import RunMetrics, collect_metrics
+from ..net.world import RadioConfig
+from ..protocol.coordinator import SimulationConfig, run_manet_simulation
+from ..protocol.device import ProtocolConfig
+from .config import DEFAULT, ExperimentScale
+from .runner import FigureResult
+from .sensitivity import _pick as _pick_base
+
+__all__ = ["fault_loss_sweep", "fault_churn_sweep", "run_fault_point"]
+
+
+def run_fault_point(
+    scale: ExperimentScale,
+    strategy: str,
+    loss_rate: float = 0.0,
+    crash_fraction: float = 0.0,
+    mean_downtime: float = 120.0,
+    seed: int = 0,
+) -> RunMetrics:
+    """One simulation under faults, aggregated.
+
+    The fault schedule is generated from ``scale.seed + seed`` — the
+    same arguments always inject the same churn.
+    """
+    dataset = make_global_dataset(
+        scale.manet_fixed_cardinality, 2, scale.manet_devices,
+        "independent", seed=scale.seed + seed, value_step=scale.value_step,
+    )
+    workload = generate_workload(
+        scale.manet_devices, scale.sim_time, 250.0,
+        scale.queries_per_device, seed=scale.seed + seed + 1,
+    )
+    faults = None
+    if crash_fraction > 0:
+        faults = FaultSchedule.generate(
+            node_count=scale.manet_devices,
+            sim_time=scale.sim_time,
+            seed=scale.seed + seed + 2,
+            crash_fraction=crash_fraction,
+            mean_downtime=mean_downtime,
+        )
+    config = SimulationConfig(
+        strategy=strategy,
+        sim_time=scale.sim_time,
+        radio=RadioConfig(loss_rate=loss_rate),
+        protocol=ProtocolConfig(estimation=Estimation.UNDER),
+        seed=scale.seed + seed + 3,
+        faults=faults,
+    )
+    result = run_manet_simulation(dataset, workload, config)
+    return collect_metrics(result, strategy)
+
+
+def fault_loss_sweep(
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.3, 0.5),
+    scale: ExperimentScale = DEFAULT,
+    metric: str = "coverage",
+) -> FigureResult:
+    """BF vs DF degradation across frame-loss rates."""
+    result = FigureResult(
+        figure="Faults: loss rate",
+        title=f"{metric} vs. frame loss rate",
+        x_label="loss rate",
+        x_values=list(loss_rates),
+        notes=f"scale={scale.name}; coverage 1.0 = full attainable answer",
+    )
+    for strategy in ("bf", "df"):
+        values: List[Optional[float]] = []
+        for i, rate in enumerate(loss_rates):
+            metrics = run_fault_point(
+                scale, strategy, loss_rate=rate, seed=40_000 + i
+            )
+            values.append(_pick(metrics, metric))
+        result.add_series(strategy.upper(), values)
+    return result
+
+
+def fault_churn_sweep(
+    crash_fractions: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    scale: ExperimentScale = DEFAULT,
+    metric: str = "coverage",
+) -> FigureResult:
+    """BF vs DF degradation across device-churn intensities.
+
+    ``crash_fraction`` of the fleet crashes once each at a random time,
+    staying down for an exponential holdoff (mean 120 s) before
+    rejoining clean.
+    """
+    result = FigureResult(
+        figure="Faults: device churn",
+        title=f"{metric} vs. crashed device fraction",
+        x_label="crash fraction",
+        x_values=list(crash_fractions),
+        notes=f"scale={scale.name}; crashed devices rejoin after ~120 s",
+    )
+    for strategy in ("bf", "df"):
+        values: List[Optional[float]] = []
+        for i, fraction in enumerate(crash_fractions):
+            metrics = run_fault_point(
+                scale, strategy, crash_fraction=fraction, seed=50_000 + i
+            )
+            values.append(_pick(metrics, metric))
+        result.add_series(strategy.upper(), values)
+    return result
+
+
+def _pick(metrics: RunMetrics, metric: str):
+    if metric == "coverage":
+        return metrics.coverage
+    return _pick_base(metrics, metric)

@@ -12,7 +12,7 @@ produced by ``benchmarks/test_fig5_*``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..devices.cost_model import DeviceCostModel, PDA_2006
 from ..storage.flat import FlatStorage
 from ..storage.hybrid import HybridStorage
 from ..storage.relation import Relation
-from ..storage.schema import RelationSchema, uniform_schema
+from ..storage.schema import uniform_schema
 from .config import DEFAULT, ExperimentScale
 from .runner import FigureResult
 

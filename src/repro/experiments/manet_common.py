@@ -13,7 +13,7 @@ and dynamically update them between mobile devices", Section 5.2.2-II).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..core.filtering import Estimation
 from ..data.partition import make_global_dataset

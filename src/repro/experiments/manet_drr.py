@@ -8,7 +8,7 @@ data, Figure 9 anti-correlated data. Panels sweep (a) cardinality,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .config import DEFAULT, ExperimentScale
 from .manet_common import ManetPoint, run_manet_point, sweep_points

@@ -8,7 +8,7 @@ way the curves bend) without leaving the terminal.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from .runner import FigureResult
 

@@ -8,8 +8,7 @@ diffed against the committed baseline.
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from .runner import FigureResult
 

@@ -9,7 +9,7 @@ benchmark suite assert the qualitative shapes the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = ["Series", "FigureResult", "render_table"]
 

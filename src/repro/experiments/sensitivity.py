@@ -16,7 +16,6 @@ CLI/report tooling applies unchanged.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import List, Optional, Sequence
 
 from ..core.filtering import Estimation
@@ -24,7 +23,6 @@ from ..data.partition import make_global_dataset
 from ..data.workload import generate_workload
 from ..devices.cost_model import PDA_2006, calibrate
 from ..metrics.collector import collect_metrics
-from ..net.mobility import RandomWaypoint
 from ..net.world import RadioConfig
 from ..protocol.coordinator import SimulationConfig, run_manet_simulation
 from ..protocol.device import ProtocolConfig

@@ -1,0 +1,6 @@
+"""Deterministic fault injection: device churn, blackouts, loss bursts."""
+
+from .injector import FaultInjector
+from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule"]

@@ -1,0 +1,101 @@
+"""Wiring a :class:`FaultSchedule` into a live simulation.
+
+The injector schedules one engine event per fault transition and applies
+it against the :class:`~repro.net.world.World`: crashes call
+``World.fail_node`` (which fires the node's ``on_crash`` hook, losing
+its in-flight query state), recoveries call ``World.restore_node``
+(rejoin clean), link events toggle pairwise blackouts, and loss bursts
+push/pop a loss-rate override.
+
+Every *applied* transition is appended to :attr:`FaultInjector.applied`
+— the deterministic fault trace the acceptance tests compare bit for bit
+— and, when a :class:`~repro.net.trace.Tracer` is given, mirrored into
+the shared trace stream as ``fault-*`` application events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..net.trace import Tracer
+from ..net.world import World
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a fault schedule to a world.
+
+    Args:
+        schedule: What to inject and when.
+        tracer: Optional tracer (already installed on the target world)
+            that receives ``fault-*`` events alongside the frame stream.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.schedule = schedule
+        self.tracer = tracer
+        self.applied: List[Tuple] = []
+        self._world: Optional[World] = None
+        self._burst_stack: List[float] = []
+
+    def install(self, world: World) -> "FaultInjector":
+        """Schedule every fault transition on the world's engine.
+        Returns self."""
+        if self._world is not None:
+            raise RuntimeError("injector already installed")
+        self._world = world
+        for event in self.schedule:
+            world.sim.schedule_at(event.time, self._apply, event)
+        return self
+
+    # -- application --------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        world = self._world
+        effective = True
+        if event.kind == "node-crash":
+            if event.node in world._nodes and world.node_is_up(event.node):
+                world.fail_node(event.node)
+            else:
+                effective = False
+        elif event.kind == "node-recover":
+            if event.node in world._nodes and not world.node_is_up(event.node):
+                world.restore_node(event.node)
+            else:
+                effective = False
+        elif event.kind == "link-down":
+            a, b = event.link
+            effective = not world.link_blacked_out(a, b)
+            world.set_link_blackout(a, b, True)
+        elif event.kind == "link-up":
+            a, b = event.link
+            effective = world.link_blacked_out(a, b)
+            world.set_link_blackout(a, b, False)
+        elif event.kind == "loss-burst-start":
+            self._burst_stack.append(event.loss_rate)
+            world.set_loss_override(event.loss_rate)
+        elif event.kind == "loss-burst-end":
+            if self._burst_stack:
+                self._burst_stack.pop()
+            world.set_loss_override(
+                self._burst_stack[-1] if self._burst_stack else None
+            )
+        self.applied.append(event.signature() + (effective,))
+        if self.tracer is not None:
+            self.tracer.emit(
+                f"fault-{event.kind}",
+                node=event.node,
+                link=event.link,
+                loss_rate=event.loss_rate,
+                effective=effective,
+            )
+
+    # -- inspection ---------------------------------------------------------
+
+    def applied_signature(self) -> Tuple[Tuple, ...]:
+        """Bit-for-bit identity of everything applied so far."""
+        return tuple(self.applied)

@@ -1,6 +1,7 @@
-"""Metrics: DRR (Formula 1), response time, and message counts."""
+"""Metrics: DRR (Formula 1), response time, messages, result coverage."""
 
 from .collector import RunMetrics, collect_metrics
+from .coverage import coverage_histogram, mean_coverage, query_coverage
 from .drr import data_reduction_rate, drr_of_pairs
 from .messages import MessageCounts, messages_per_query
 from .response import bf_response_time, df_response_time, mean_response_time
@@ -10,9 +11,12 @@ __all__ = [
     "RunMetrics",
     "bf_response_time",
     "collect_metrics",
+    "coverage_histogram",
     "data_reduction_rate",
     "df_response_time",
     "drr_of_pairs",
+    "mean_coverage",
     "mean_response_time",
     "messages_per_query",
+    "query_coverage",
 ]

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..protocol.coordinator import SimulationResult
+from .coverage import mean_coverage
 from .drr import data_reduction_rate
 from .messages import MessageCounts, messages_per_query
 from .response import bf_response_time, df_response_time, mean_response_time
@@ -30,6 +31,9 @@ class RunMetrics:
     suppressed: int
     completed: int
     participants_per_query: Optional[float]
+    coverage: Optional[float] = None
+    """Mean fraction of issue-time-reachable devices whose results were
+    merged (1.0 = every query gathered its full attainable answer)."""
 
 
 def collect_metrics(
@@ -66,4 +70,5 @@ def collect_metrics(
         suppressed=result.suppressed,
         completed=len(result.completed),
         participants_per_query=participants,
+        coverage=mean_coverage(result.records),
     )

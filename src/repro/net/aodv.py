@@ -28,7 +28,7 @@ discovery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .engine import EventHandle, Simulator
@@ -196,6 +196,21 @@ class AodvRouter:
         """Is a valid route to ``dest`` currently installed?"""
         route = self.routes.get(dest)
         return route is not None and route.valid_at(self.sim.now)
+
+    def reset(self) -> None:
+        """Drop all volatile routing state (device crash semantics).
+
+        Pending packets are lost, discovery timers cancelled, the
+        routing table and RREQ duplicate cache wiped. Sequence counters
+        survive — monotonic ids across a reboot keep stale RREQs from
+        masking fresh ones.
+        """
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        self.routes.clear()
+        self._seen_rreq.clear()
 
     def handle_frame(self, frame: Frame, sender: int) -> bool:
         """Process an AODV-relevant frame. Returns False if the frame is

@@ -52,10 +52,11 @@ class FrameKind:
     QUERY = "query"
     RESULT = "result"
     TOKEN = "token"
+    ACK = "ack"
     TRANSFER = "transfer"
 
     CONTROL = frozenset({RREQ, RREP, RERR})
-    PROTOCOL = frozenset({QUERY, RESULT, TOKEN, DATA})
+    PROTOCOL = frozenset({QUERY, RESULT, TOKEN, ACK, DATA})
     #: Bulk data movement (redistribution) — neither query protocol nor
     #: routing control; reported separately.
     MAINTENANCE = frozenset({TRANSFER})

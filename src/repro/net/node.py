@@ -7,7 +7,6 @@ routed end-to-end payloads.
 
 from __future__ import annotations
 
-from typing import Any, Optional
 
 from .aodv import AodvConfig, AodvRouter, DataPacket
 from .engine import Simulator

@@ -31,8 +31,9 @@ class RadioConfig:
         radio_range: Unit-disk communication range in metres.
         bandwidth_bps: Effective link bandwidth in bits per second.
         latency: Fixed per-hop latency in seconds (propagation + MAC).
-        loss_rate: Independent per-frame loss probability (failure
-            injection; 0 by default — mobility already causes losses).
+        loss_rate: Independent per-frame loss probability in [0, 1]
+            (failure injection; 0 by default — mobility already causes
+            losses; 1.0 is a total blackout, useful for fault tests).
     """
 
     radio_range: float = 250.0
@@ -47,8 +48,8 @@ class RadioConfig:
             raise ValueError("bandwidth_bps must be > 0")
         if self.latency < 0:
             raise ValueError("latency must be >= 0")
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
 
     def transfer_delay(self, size_bytes: int) -> float:
         """Seconds to push ``size_bytes`` over one hop."""
@@ -104,6 +105,12 @@ class EnergyMeterLike(Protocol):
 class World:
     """Glue between the event engine, mobility, and the nodes.
 
+    Besides geometry, the world tracks *fault* state injected by a
+    :class:`~repro.faults.FaultInjector`: crashed (down) nodes, blacked
+    out node pairs, and a temporary loss-rate override. All transmission
+    paths consult :meth:`can_communicate`, which folds fault state into
+    the unit-disk test.
+
     Args:
         sim: The event engine.
         mobility: Position oracle for all nodes.
@@ -124,6 +131,9 @@ class World:
         self.stats = TrafficStats()
         self._nodes: Dict[int, NetworkNode] = {}
         self._rng = np.random.default_rng(seed)
+        self._down: set = set()
+        self._blackouts: set = set()
+        self._loss_override: Optional[float] = None
         #: Optional per-node energy meters; when present, frame
         #: transmissions and receptions are charged to them
         #: (``repro.devices.EnergyMeter`` instances keyed by node id).
@@ -157,15 +167,116 @@ class World:
         return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
 
     def in_range(self, a: int, b: int) -> bool:
-        """Can ``a`` and ``b`` currently exchange frames?"""
+        """Are ``a`` and ``b`` geometrically within radio range?"""
         return a != b and self.distance(a, b) <= self.radio.radio_range
 
+    def can_communicate(self, a: int, b: int) -> bool:
+        """Can ``a`` and ``b`` currently exchange frames?
+
+        Geometry plus fault state: both endpoints up and the pairwise
+        link not blacked out.
+        """
+        return (
+            a not in self._down
+            and b not in self._down
+            and frozenset((a, b)) not in self._blackouts
+            and self.in_range(a, b)
+        )
+
     def neighbors(self, node: int) -> List[int]:
-        """Nodes currently within radio range of ``node``."""
-        return [other for other in self._nodes if self.in_range(node, other)]
+        """Nodes ``node`` can currently exchange frames with."""
+        return [
+            other for other in self._nodes if self.can_communicate(node, other)
+        ]
+
+    def reachable_from(self, node: int) -> set:
+        """Transitive communication closure of ``node`` right now.
+
+        Breadth-first search over :meth:`can_communicate`; includes
+        ``node`` itself. The basis of result-coverage accounting: a
+        query can only ever gather data from this set.
+        """
+        if node not in self._nodes:
+            raise ValueError(f"unknown node {node}")
+        seen = {node}
+        frontier = [node]
+        while frontier:
+            nxt = []
+            for current in frontier:
+                for other in self.neighbors(current):
+                    if other not in seen:
+                        seen.add(other)
+                        nxt.append(other)
+            frontier = nxt
+        return seen
+
+    # -- fault state --------------------------------------------------------
+
+    def node_is_up(self, node: int) -> bool:
+        """Is ``node`` currently powered on?"""
+        return node not in self._down
+
+    @property
+    def down_nodes(self) -> List[int]:
+        """Currently crashed node ids, sorted."""
+        return sorted(self._down)
+
+    def fail_node(self, node: int) -> None:
+        """Crash ``node``: it stops transmitting and receiving, and its
+        in-flight protocol state is lost (``on_crash`` hook). No-op if
+        already down."""
+        if node in self._down:
+            return
+        self._down.add(node)
+        attached = self._nodes.get(node)
+        on_crash = getattr(attached, "on_crash", None)
+        if on_crash is not None:
+            on_crash()
+
+    def restore_node(self, node: int) -> None:
+        """Bring a crashed ``node`` back up, rejoining clean (``on_recover``
+        hook). No-op if the node is already up."""
+        if node not in self._down:
+            return
+        self._down.discard(node)
+        attached = self._nodes.get(node)
+        on_recover = getattr(attached, "on_recover", None)
+        if on_recover is not None:
+            on_recover()
+
+    def set_link_blackout(self, a: int, b: int, blocked: bool) -> None:
+        """Force the pairwise link ``a``–``b`` down (or lift the blackout)."""
+        if a == b:
+            raise ValueError("a link needs two distinct endpoints")
+        if blocked:
+            self._blackouts.add(frozenset((a, b)))
+        else:
+            self._blackouts.discard(frozenset((a, b)))
+
+    def link_blacked_out(self, a: int, b: int) -> bool:
+        """Is the pairwise link ``a``–``b`` currently forced down?"""
+        return frozenset((a, b)) in self._blackouts
+
+    def set_loss_override(self, loss_rate: Optional[float]) -> None:
+        """Temporarily override the radio's loss rate (bursty-loss
+        windows); ``None`` restores the configured rate."""
+        if loss_rate is not None and not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate override must be in [0, 1] or None")
+        self._loss_override = loss_rate
+
+    @property
+    def effective_loss_rate(self) -> float:
+        """The loss rate currently applied to transmissions."""
+        if self._loss_override is not None:
+            return self._loss_override
+        return self.radio.loss_rate
 
     def connectivity_snapshot(self):
-        """Current connectivity as a networkx graph (analysis helper)."""
+        """Current connectivity as a networkx graph (analysis helper).
+
+        Fault-aware: crashed nodes appear isolated and blacked-out links
+        are absent, matching what :meth:`can_communicate` would answer.
+        """
         import networkx as nx
 
         g = nx.Graph()
@@ -176,6 +287,10 @@ class World:
         for i_pos, i in enumerate(ids):
             xi, yi = positions[i]
             for j in ids[i_pos + 1 :]:
+                if i in self._down or j in self._down:
+                    continue
+                if frozenset((i, j)) in self._blackouts:
+                    continue
                 xj, yj = positions[j]
                 if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
                     g.add_edge(i, j)
@@ -199,10 +314,14 @@ class World:
             raise ValueError("unicast send needs frame.dst; use broadcast()")
         if frame.dst not in self._nodes:
             raise ValueError(f"unknown destination node {frame.dst}")
+        if frame.src in self._down:
+            # A crashed transmitter radiates nothing: no stats, no
+            # failure callback — the sender's state died with it.
+            return
         self.stats.record_send(frame)
         self._charge_tx(frame)
         delay = self.radio.transfer_delay(frame.size_bytes)
-        if not self.in_range(frame.src, frame.dst) or self._lossy():
+        if not self.can_communicate(frame.src, frame.dst) or self._lossy():
             self.stats.drops += 1
             if on_failure is not None:
                 self.sim.schedule(delay, on_failure, frame)
@@ -217,6 +336,8 @@ class World:
         """
         if frame.dst is not None:
             raise ValueError("broadcast frames must have dst=None")
+        if frame.src in self._down:
+            return []
         self.stats.record_send(frame)
         self._charge_tx(frame)
         receivers = []
@@ -226,12 +347,25 @@ class World:
                 self.stats.drops += 1
                 continue
             receivers.append(other)
-            self.sim.schedule(delay, self._deliver_to, other, frame)
+            self.sim.schedule(delay, self._deliver_broadcast, other, frame)
         return receivers
 
+    def _deliver_broadcast(self, node: int, frame: Frame) -> None:
+        # Fault re-check only (no mobility re-check, matching the
+        # original broadcast semantics): a receiver that crashed or lost
+        # its link mid-flight hears nothing.
+        if (
+            node in self._down
+            or frozenset((frame.src, node)) in self._blackouts
+        ):
+            self.stats.drops += 1
+            return
+        self._deliver_to(node, frame)
+
     def _deliver(self, frame: Frame, on_failure: Optional[Callable[[Frame], None]]) -> None:
-        # Mobility check at delivery time: the receiver may have moved.
-        if not self.in_range(frame.src, frame.dst):
+        # Check again at delivery time: the receiver may have moved out
+        # of range, crashed, or had its link blacked out mid-flight.
+        if not self.can_communicate(frame.src, frame.dst):
             self.stats.drops += 1
             if on_failure is not None:
                 on_failure(frame)
@@ -251,6 +385,5 @@ class World:
             meter.on_transmit(frame.size_bytes)
 
     def _lossy(self) -> bool:
-        return self.radio.loss_rate > 0 and bool(
-            self._rng.random() < self.radio.loss_rate
-        )
+        rate = self.effective_loss_rate
+        return rate > 0 and bool(self._rng.random() < rate)

@@ -15,7 +15,7 @@ from .device import (
     QueryRecord,
     SkylineDevice,
 )
-from .messages import QueryMessage, ResultMessage, TokenMessage
+from .messages import QueryMessage, ResultAckMessage, ResultMessage, TokenMessage
 from .redistribution import (
     RedistributionProcess,
     RedistributionStats,
@@ -38,6 +38,7 @@ __all__ = [
     "QueryRecord",
     "RedistributionProcess",
     "RedistributionStats",
+    "ResultAckMessage",
     "ResultMessage",
     "STRATEGIES",
     "SimulationConfig",

@@ -8,10 +8,11 @@ workload through it, enforcing the paper's one-query-in-progress rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..data.partition import GlobalDataset
 from ..data.workload import QueryRequest
+from ..faults import FaultInjector, FaultSchedule
 from ..net.aodv import AodvConfig
 from ..net.engine import Simulator
 from ..net.mobility import (
@@ -44,6 +45,8 @@ class SimulationConfig:
         seed: Master seed for mobility and loss processes.
         drain_time: Extra simulated seconds after the last workload
             entry so in-flight queries can finish.
+        faults: Optional deterministic fault schedule (device churn,
+            link blackouts, loss bursts) injected into the run.
     """
 
     strategy: str = "bf"
@@ -55,6 +58,7 @@ class SimulationConfig:
     holding_time: float = DEFAULT_HOLDING_TIME
     seed: Optional[int] = None
     drain_time: float = 120.0
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -80,6 +84,9 @@ class SimulationResult:
     events: int
     energy_joules: List[float] = field(default_factory=list)
     """Per-device energy spent on radio + skyline CPU during the run."""
+    fault_events: Tuple = ()
+    """Signatures of every applied fault transition, in order — the
+    deterministic fault trace (empty without a fault schedule)."""
 
     @property
     def completed(self) -> List[QueryRecord]:
@@ -147,13 +154,16 @@ def run_manet_simulation(
         global traffic statistics.
     """
     sim, world, devices = build_network(dataset, config, mobility)
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        injector = FaultInjector(config.faults).install(world)
     issued = 0
     suppressed = 0
 
     def try_issue(request: QueryRequest) -> None:
         nonlocal issued, suppressed
         device = devices[request.device]
-        if device.has_active_query:
+        if device.has_active_query or not world.node_is_up(request.device):
             suppressed += 1
             return
         device.issue_query(request.distance)
@@ -182,4 +192,7 @@ def run_manet_simulation(
         suppressed=suppressed,
         events=sim.events_fired,
         energy_joules=[device.meter.joules for device in devices],
+        fault_events=(
+            injector.applied_signature() if injector is not None else ()
+        ),
     )

@@ -20,7 +20,7 @@ two concrete subclasses implement the paper's forwarding strategies
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.assembly import SkylineAssembler, merge_skylines
@@ -30,13 +30,14 @@ from ..core.query import QueryCounter, QueryLog, SkylineQuery
 from ..devices.cost_model import PDA_2006, DeviceCostModel
 from ..devices.energy import EnergyMeter
 from ..net.aodv import AodvConfig, DataPacket
+from ..net.engine import EventHandle
 from ..net.messages import Frame, FrameKind
 from ..net.node import Node
 from ..net.world import World
 from ..storage.flat import FlatStorage
 from ..storage.hybrid import HybridStorage
 from ..storage.relation import Relation
-from .messages import QueryMessage, ResultMessage, TokenMessage
+from .messages import QueryMessage, ResultAckMessage, ResultMessage, TokenMessage
 
 __all__ = [
     "ProtocolConfig",
@@ -46,6 +47,10 @@ __all__ = [
     "BFDevice",
     "DFDevice",
 ]
+
+#: Delay before a backtracking token skips past a vanished parent —
+#: yields the event loop so long dead paths unwind turn by turn.
+_BACKTRACK_RETRY_DELAY = 0.05
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,21 @@ class ProtocolConfig:
             devices whose results mark the query complete — the paper's
             80% rule (Section 5.2.3). Results arriving afterwards are
             still merged until the timeout closes the record.
+        result_ack: BF recovery — the originator acknowledges every
+            result reply, and responders retransmit unacknowledged
+            replies with capped exponential backoff. A lost RESULT is
+            no longer silently gone.
+        ack_timeout: Initial retransmission backoff in seconds; doubles
+            per attempt.
+        result_retries: Retransmissions per result before giving up.
+        token_watchdog: DF recovery — seconds of token silence at the
+            originator before the query is re-issued with an incremented
+            ``cnt`` (the ``(id, cnt)`` log makes re-issue safe). 0
+            disables the watchdog.
+        token_reissues: Re-issues per query before the watchdog gives
+            up and leaves closure to ``query_timeout``.
+        backtrack_slack: Extra hops a DF backtrack chain may skip past
+            vanished parents beyond the current path length.
     """
 
     use_filter: bool = True
@@ -83,6 +103,12 @@ class ProtocolConfig:
     model_processing_delay: bool = True
     query_timeout: float = 600.0
     completion_quorum: float = 0.8
+    result_ack: bool = True
+    ack_timeout: float = 3.0
+    result_retries: int = 3
+    token_watchdog: float = 60.0
+    token_reissues: int = 2
+    backtrack_slack: int = 4
 
     def __post_init__(self) -> None:
         if self.processor not in ("vectorized", "hybrid", "flat"):
@@ -91,6 +117,16 @@ class ProtocolConfig:
             raise ValueError("query_timeout must be > 0")
         if not 0 < self.completion_quorum <= 1:
             raise ValueError("completion_quorum must be in (0, 1]")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be > 0")
+        if self.result_retries < 0:
+            raise ValueError("result_retries must be >= 0")
+        if self.token_watchdog < 0:
+            raise ValueError("token_watchdog must be >= 0")
+        if self.token_reissues < 0:
+            raise ValueError("token_reissues must be >= 0")
+        if self.backtrack_slack < 0:
+            raise ValueError("backtrack_slack must be >= 0")
 
 
 @dataclass
@@ -107,7 +143,14 @@ class DeviceContribution:
 
 @dataclass
 class QueryRecord:
-    """Originator-side lifecycle record of one distributed query."""
+    """Originator-side lifecycle record of one distributed query.
+
+    Besides the merged result, the record carries the *coverage* inputs:
+    which devices were network-reachable when the query was issued
+    (``reachable_at_issue``) versus which actually contributed results
+    (``contributions``). Their ratio quantifies how much of the
+    attainable answer a query under faults actually gathered.
+    """
 
     query: SkylineQuery
     issue_time: float
@@ -118,6 +161,9 @@ class QueryRecord:
     contributions: Dict[int, DeviceContribution] = field(default_factory=dict)
     completion_time: Optional[float] = None
     closed: bool = False
+    reachable_at_issue: FrozenSet[int] = frozenset()
+    reissues: int = 0
+    aborted_by_crash: bool = False
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -128,6 +174,26 @@ class QueryRecord:
     def result(self) -> Relation:
         """The merged skyline so far."""
         return self.assembler.result()
+
+    @property
+    def contributing_devices(self) -> FrozenSet[int]:
+        """Devices whose results were merged (the originator excluded)."""
+        return frozenset(self.contributions)
+
+    def coverage(self) -> Optional[float]:
+        """Fraction of issue-time-reachable devices that contributed.
+
+        1.0 when nothing besides the originator was reachable (the
+        attainable answer was gathered in full, vacuously); None when
+        the record predates coverage accounting (no reachability
+        snapshot was taken).
+        """
+        if not self.reachable_at_issue:
+            return None
+        others = self.reachable_at_issue - {self.originator}
+        if not others:
+            return 1.0
+        return len(self.contributing_devices & others) / len(others)
 
     def arrival_times(self) -> List[float]:
         """Sorted result-arrival times (BF's response-time input)."""
@@ -173,6 +239,48 @@ class SkylineDevice(Node):
         #: charged automatically, and charged CPU time by compute paths.
         self.meter = EnergyMeter()
         world.energy_meters[device_id] = self.meter
+        #: Crash epoch: bumped on every crash so scheduled continuations
+        #: from before the crash become no-ops (in-flight state is lost).
+        self._epoch = 0
+
+    # -- fault hooks --------------------------------------------------------
+
+    def _schedule_guarded(self, delay: float, fn, *args) -> EventHandle:
+        """Schedule ``fn(*args)`` unless this device crashes first."""
+        epoch = self._epoch
+
+        def run() -> None:
+            if self._epoch == epoch:
+                fn(*args)
+
+        return self.sim.schedule(delay, run)
+
+    def on_crash(self) -> None:
+        """World hook: this device just crashed.
+
+        All in-flight query state dies with it — scheduled protocol
+        continuations are epoch-invalidated, the routing table and the
+        duplicate-suppression log are wiped, and an active originated
+        query is closed (its record survives for metrics, flagged
+        ``aborted_by_crash``).
+        """
+        self._epoch += 1
+        self.router.reset()
+        self.query_log = QueryLog()
+        if self._active_key is not None:
+            record = self.records.get(self._active_key)
+            if record is not None:
+                record.aborted_by_crash = True
+            self._close_query(self._active_key)
+
+    def on_recover(self) -> None:
+        """World hook: the device rebooted and rejoined clean.
+
+        Nothing to restore — crash semantics are fail-stop with total
+        loss of volatile protocol state. (A still-circulating copy of a
+        query this device originated before the crash is ignored by the
+        origin-check in the frame handlers, not by the wiped log.)
+        """
 
     # -- local processing ---------------------------------------------------
 
@@ -264,6 +372,9 @@ class SkylineDevice(Node):
             local_unreduced=local.unreduced_size,
             local_reduced=local.reduced_size,
             assembler=SkylineAssembler(self.relation.schema, local.skyline),
+            reachable_at_issue=frozenset(
+                self.world.reachable_from(self.node_id)
+            ),
         )
         self.records[query.key] = record
         self._active_key = query.key
@@ -296,14 +407,30 @@ class SkylineDevice(Node):
             self._active_key = None
 
 
+@dataclass
+class _PendingResult:
+    """A BF result reply awaiting its application-level ACK."""
+
+    reply: ResultMessage
+    origin: int
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+
 class BFDevice(SkylineDevice):
     """Breadth-first (flooding) strategy."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Result replies not yet acknowledged by their originator,
+        #: keyed by query key (one reply per query per device).
+        self._pending_results: Dict[Tuple[int, int], _PendingResult] = {}
 
     def issue_query(self, d: float) -> QueryRecord:
         record, local, flt = self._open_record(d)
         delay = self.processing_delay(local)
         message = QueryMessage(query=record.query, flt=flt, hops=1)
-        self.sim.schedule(delay, self._broadcast_query, message)
+        self._schedule_guarded(delay, self._broadcast_query, message)
         return record
 
     def _broadcast_query(self, message: QueryMessage) -> None:
@@ -323,6 +450,10 @@ class BFDevice(SkylineDevice):
         ):
             return
         message: QueryMessage = frame.payload
+        if message.query.origin == self.node_id:
+            # Our own flood echoing back (possible after a crash wiped
+            # the duplicate log): never answer ourselves.
+            return
         # The flood doubles as an AODV reverse-route advertisement.
         self.router.learn_route(message.query.origin, sender, message.hops)
         if not self.query_log.check_and_record(message.query):
@@ -330,7 +461,9 @@ class BFDevice(SkylineDevice):
         flt = message.flt if self.config.use_filter else None
         result = self.compute_local(message.query, flt)
         delay = self.processing_delay(result)
-        self.sim.schedule(delay, self._respond_and_forward, message, result, delay)
+        self._schedule_guarded(
+            delay, self._respond_and_forward, message, result, delay
+        )
 
     def _respond_and_forward(
         self, message: QueryMessage, result: LocalSkylineResult, proc_time: float
@@ -343,12 +476,11 @@ class BFDevice(SkylineDevice):
             skipped=result.skipped,
             processing_time=proc_time,
         )
-        self.router.send_data(
-            dest=message.query.origin,
-            kind=FrameKind.RESULT,
-            payload=reply,
-            size_bytes=reply.size_bytes(self.relation.dimensions),
-        )
+        self._send_result(reply, message.query.origin)
+        if self.config.result_ack and self.config.result_retries > 0:
+            pending = _PendingResult(reply=reply, origin=message.query.origin)
+            self._pending_results[message.query.key] = pending
+            self._arm_result_retry(message.query.key, pending)
         out_flt = message.flt
         if self.config.use_filter and self.config.dynamic_filter:
             out_flt = result.updated_filter
@@ -357,12 +489,70 @@ class BFDevice(SkylineDevice):
         )
         self._broadcast_query(forwarded)
 
+    # -- result ACK / retransmission ----------------------------------------
+
+    def _send_result(self, reply: ResultMessage, origin: int) -> None:
+        self.router.send_data(
+            dest=origin,
+            kind=FrameKind.RESULT,
+            payload=reply,
+            size_bytes=reply.size_bytes(self.relation.dimensions),
+        )
+
+    def _arm_result_retry(
+        self, key: Tuple[int, int], pending: _PendingResult
+    ) -> None:
+        backoff = self.config.ack_timeout * (2.0 ** pending.attempts)
+        pending.timer = self._schedule_guarded(
+            backoff, self._retry_result, key
+        )
+
+    def _retry_result(self, key: Tuple[int, int]) -> None:
+        pending = self._pending_results.get(key)
+        if pending is None:
+            return
+        if pending.attempts >= self.config.result_retries:
+            del self._pending_results[key]
+            return
+        pending.attempts += 1
+        self._send_result(pending.reply, pending.origin)
+        self._arm_result_retry(key, pending)
+
+    def _on_result_ack(self, ack: ResultAckMessage) -> None:
+        pending = self._pending_results.pop(ack.query_key, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    def on_crash(self) -> None:
+        for pending in self._pending_results.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending_results.clear()
+        super().on_crash()
+
+    # -- originator side ----------------------------------------------------
+
     def on_data(self, packet: DataPacket) -> None:
+        if packet.kind == FrameKind.ACK and isinstance(
+            packet.payload, ResultAckMessage
+        ):
+            self._on_result_ack(packet.payload)
+            return
         if packet.kind != FrameKind.RESULT or not isinstance(
             packet.payload, ResultMessage
         ):
             return
         reply: ResultMessage = packet.payload
+        # ACK every copy, even duplicates and post-closure stragglers:
+        # an unacknowledged responder keeps retransmitting.
+        if self.config.result_ack:
+            ack = ResultAckMessage(query_key=reply.query_key)
+            self.router.send_data(
+                dest=reply.sender,
+                kind=FrameKind.ACK,
+                payload=ack,
+                size_bytes=ack.size_bytes(),
+            )
         record = self.records.get(reply.query_key)
         if record is None or record.closed:
             return
@@ -388,6 +578,17 @@ class BFDevice(SkylineDevice):
 class DFDevice(SkylineDevice):
     """Depth-first (token passing) strategy."""
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Re-issued query keys -> the root record key they feed.
+        self._reissue_alias: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._watchdog: Optional[EventHandle] = None
+        self._last_token_activity: float = 0.0
+
+    def _resolve_key(self, key: Tuple[int, int]) -> Tuple[int, int]:
+        """Map a (possibly re-issued) query key to its root record key."""
+        return self._reissue_alias.get(key, key)
+
     def issue_query(self, d: float) -> QueryRecord:
         record, local, flt = self._open_record(d)
         token = TokenMessage(
@@ -399,8 +600,88 @@ class DFDevice(SkylineDevice):
             contributions=(),
         )
         delay = self.processing_delay(local)
-        self.sim.schedule(delay, self._pass_token, token)
+        self._schedule_guarded(delay, self._pass_token, token)
+        self._last_token_activity = self.sim.now
+        if self.config.token_watchdog > 0:
+            self._arm_watchdog(record.query.key, self.config.token_watchdog)
         return record
+
+    # -- token watchdog -----------------------------------------------------
+
+    def _arm_watchdog(self, root_key: Tuple[int, int], delay: float) -> None:
+        self._watchdog = self._schedule_guarded(
+            delay, self._check_watchdog, root_key
+        )
+
+    def _check_watchdog(self, root_key: Tuple[int, int]) -> None:
+        """Re-issue the query if the token has gone quiet.
+
+        "Quiet" is measured at the originator: no token has come home
+        (or left) for a full watchdog period. Re-issue bumps ``cnt``, so
+        the paper's ``(id, cnt)`` duplicate-suppression log treats the
+        new walk as a fresh query everywhere — devices the lost token
+        already visited simply contribute again, and the skyline merge
+        deduplicates — while a zombie copy of the old token stays
+        harmless (its results still alias back to the same record).
+        """
+        record = self.records.get(root_key)
+        if (
+            record is None
+            or record.closed
+            or record.completion_time is not None
+        ):
+            return
+        quiet = self.sim.now - self._last_token_activity
+        remaining = self.config.token_watchdog - quiet
+        if remaining > 1e-9:
+            # Not quiet long enough yet. (The epsilon matters: a residue
+            # of ~1e-14 re-armed at a delay too small to advance float
+            # simulation time, re-firing at the same instant forever.)
+            self._arm_watchdog(root_key, remaining)
+            return
+        if record.reissues >= self.config.token_reissues:
+            # Out of re-issues: leave closure to query_timeout.
+            return
+        record.reissues += 1
+        self._reissue(record)
+        self._arm_watchdog(root_key, self.config.token_watchdog)
+
+    def _reissue(self, record: QueryRecord) -> None:
+        """Send a fresh token for ``record`` under an incremented cnt,
+        seeded with everything merged so far."""
+        query = replace(record.query, cnt=self.query_counter.next_value())
+        self._reissue_alias[query.key] = record.query.key
+        self.query_log.record(query)
+        merged = record.assembler.result()
+        flt = None
+        if self.config.use_filter and merged.cardinality:
+            local_highs = (
+                self.relation.normalized_worst()
+                if self.relation.cardinality
+                else None
+            )
+            flt = select_filter(
+                merged,
+                self.config.estimation,
+                self.config.over_margin,
+                local_highs=local_highs,
+            )
+        token = TokenMessage(
+            query=query,
+            flt=flt,
+            result=merged,
+            visited=frozenset({self.node_id}),
+            path=(),
+            contributions=(),
+        )
+        self._last_token_activity = self.sim.now
+        self._pass_token(token)
+
+    def on_crash(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        super().on_crash()
 
     # -- token receipt --------------------------------------------------------
 
@@ -430,6 +711,7 @@ class DFDevice(SkylineDevice):
 
     def _receive_token(self, token: TokenMessage, sender: int) -> None:
         if token.query.origin == self.node_id:
+            self._last_token_activity = self.sim.now
             self._token_home(token)
             return
         if self.query_log.check_and_record(token.query):
@@ -449,7 +731,7 @@ class DFDevice(SkylineDevice):
                 + ((self.node_id, result.unreduced_size, result.reduced_size),),
             )
             delay = self.processing_delay(result)
-            self.sim.schedule(delay, self._pass_token, token)
+            self._schedule_guarded(delay, self._pass_token, token)
         else:
             token = TokenMessage(
                 query=token.query,
@@ -465,6 +747,8 @@ class DFDevice(SkylineDevice):
 
     def _pass_token(self, token: TokenMessage, failed: FrozenSet[int] = frozenset()) -> None:
         """Forward to one unvisited neighbour, else backtrack."""
+        if token.query.origin == self.node_id:
+            self._last_token_activity = self.sim.now
         candidates = sorted(
             n
             for n in self.world.neighbors(self.node_id)
@@ -488,22 +772,36 @@ class DFDevice(SkylineDevice):
                 size_bytes=outgoing.size_bytes(self.relation.dimensions),
             )
 
+            epoch = self._epoch
+
             def retry(_frame: Frame, _target=target, _token=token, _failed=failed) -> None:
-                self._pass_token(_token, _failed | {_target})
+                if self._epoch == epoch:
+                    self._pass_token(_token, _failed | {_target})
 
             self.world.send(frame, on_failure=retry)
             return
         self._backtrack(token)
 
-    def _backtrack(self, token: TokenMessage) -> None:
+    def _backtrack(self, token: TokenMessage, budget: Optional[int] = None) -> None:
+        """Unwind one step toward the originator.
+
+        ``budget`` bounds how many vanished parents one unwinding chain
+        may skip: each skip re-enters via a *scheduled* retry (never
+        recursion in the same event-loop turn) and decrements the
+        budget, so a fully partitioned path ends in a dead token — which
+        the originator's watchdog or timeout then recovers — instead of
+        unbounded re-backtracking.
+        """
+        if budget is None:
+            budget = len(token.path) + self.config.backtrack_slack
         if not token.path:
             if token.query.origin == self.node_id:
                 # The originator ran out of reachable unvisited neighbours:
                 # the traversal is over. (Results were already merged in
                 # _token_home before the token was sent back out.)
-                self._complete_query(token.query.key)
+                self._complete_query(self._resolve_key(token.query.key))
             # Otherwise: a dead end away from home — the token dies and
-            # the originator's timeout closes the query.
+            # the originator's watchdog / timeout recovers the query.
             return
         parent = token.path[-1]
         returned = TokenMessage(
@@ -515,9 +813,15 @@ class DFDevice(SkylineDevice):
             contributions=token.contributions,
         )
 
-        def undeliverable(_packet: DataPacket, _token=returned) -> None:
-            # The parent vanished: skip it and keep unwinding.
-            self._backtrack(_token)
+        def undeliverable(
+            _packet: DataPacket, _token=returned, _budget=budget - 1
+        ) -> None:
+            # The parent vanished: skip it and keep unwinding, if the
+            # hop budget allows.
+            if _budget >= 0:
+                self._schedule_guarded(
+                    _BACKTRACK_RETRY_DELAY, self._backtrack, _token, _budget
+                )
 
         self.router.send_data(
             dest=parent,
@@ -530,7 +834,7 @@ class DFDevice(SkylineDevice):
     # -- originator side ---------------------------------------------------------
 
     def _token_home(self, token: TokenMessage) -> None:
-        record = self.records.get(token.query.key)
+        record = self.records.get(self._resolve_key(token.query.key))
         if record is None or record.closed:
             return
         for device, unreduced, reduced in token.contributions:
@@ -560,4 +864,4 @@ class DFDevice(SkylineDevice):
         if unvisited:
             self._pass_token(token)
         else:
-            self._complete_query(token.query.key)
+            self._complete_query(self._resolve_key(token.query.key))

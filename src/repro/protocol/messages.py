@@ -8,15 +8,15 @@ the cost the strategies fight to reduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
 
 from ..core.filtering import FilteringTuple
 from ..core.query import SkylineQuery
 from ..net.messages import QUERY_BYTES, tuple_bytes
 from ..storage.relation import Relation
 
-__all__ = ["QueryMessage", "ResultMessage", "TokenMessage"]
+__all__ = ["QueryMessage", "ResultAckMessage", "ResultMessage", "TokenMessage"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,23 @@ class ResultMessage:
     def size_bytes(self, dimensions: int) -> int:
         """Tuples on the wire plus a small status header."""
         return 8 + self.skyline.cardinality * tuple_bytes(dimensions)
+
+
+@dataclass(frozen=True)
+class ResultAckMessage:
+    """Application-level acknowledgement of one BF result reply.
+
+    The originator sends one per :class:`ResultMessage` copy it
+    receives; the responder retransmits an unacknowledged reply with
+    capped exponential backoff. This closes the paper's silent-loss gap:
+    a lost RESULT used to vanish without anyone noticing.
+    """
+
+    query_key: Tuple[int, int]
+
+    def size_bytes(self) -> int:
+        """Just the query key and a kind tag."""
+        return 8
 
 
 @dataclass(frozen=True)

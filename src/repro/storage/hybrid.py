@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import POINTER_BYTES, SPATIAL_VALUE_BYTES, FLOAT_VALUE_BYTES, StorageModel
+from .base import SPATIAL_VALUE_BYTES, FLOAT_VALUE_BYTES, StorageModel
 from .relation import Relation
 
 __all__ = ["HybridStorage", "id_bytes_for"]

@@ -158,6 +158,92 @@ class TestMobilityRepair:
         assert len(nodes[3].delivered) == 2
 
 
+class TestFailurePaths:
+    """The maintenance branches: local repair, RERR, retry exhaustion."""
+
+    def diamond(self, aodv=AodvConfig()):
+        """0-1-{2,4}-3: node 1 has two disjoint ways to reach 3."""
+        sim = Simulator()
+        positions = [
+            (0.0, 0.0), (200.0, 0.0), (400.0, 100.0),
+            (600.0, 0.0), (400.0, -100.0),
+        ]
+        world = World(
+            sim, StaticPlacement(positions), RadioConfig(radio_range=250.0)
+        )
+        nodes = [AppNode(world, i, aodv) for i in range(5)]
+        return sim, world, nodes
+
+    def test_hop_failure_repaired_via_alternate_path(self):
+        """A forwarding node whose next hop crashed repairs locally and
+        the packet still arrives."""
+        sim, world, nodes = self.diamond()
+        nodes[0].router.send_data(3, FrameKind.RESULT, "one", 10)
+        sim.run(until=5.0)
+        assert len(nodes[3].delivered) == 1
+        on_path = nodes[1].router.routes[3].next_hop
+        assert on_path in (2, 4)
+        world.fail_node(on_path)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "two", 10)
+        sim.run(until=20.0)
+        assert [p for p, *_ in nodes[3].delivered] == ["one", "two"]
+        assert nodes[0].failed == []
+        # the repaired route goes around the crashed node
+        assert nodes[1].router.routes[3].next_hop != on_path
+
+    def test_repair_exhaustion_sends_rerr_to_source(self):
+        """With no repair budget, a forwarding node reports the break
+        toward the source, which invalidates its route."""
+        aodv = AodvConfig(repair_attempts=0)
+        sim, world, nodes = line_network(4, aodv=aodv)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "one", 10)
+        sim.run(until=5.0)
+        assert nodes[0].router.has_route(3)
+        world.fail_node(2)
+        nodes[0].router.send_data(3, FrameKind.RESULT, "lost", 10)
+        sim.run(until=20.0)
+        assert world.stats.by_kind.get("rerr", 0) >= 1
+        assert not nodes[0].router.has_route(3)
+        assert [p for p, *_ in nodes[3].delivered] == ["one"]
+
+    def test_source_side_hop_failure_reports_undeliverable(self):
+        aodv = AodvConfig(repair_attempts=0, rreq_retries=0)
+        sim, world, nodes = line_network(2, aodv=aodv)
+        nodes[0].router.send_data(1, FrameKind.RESULT, "one", 10)
+        sim.run(until=5.0)
+        world.fail_node(1)
+        nodes[0].router.send_data(1, FrameKind.RESULT, "lost", 10)
+        sim.run(until=20.0)
+        assert len(nodes[0].failed) == 1
+        assert nodes[0].failed[0].payload == "lost"
+
+    def test_discovery_retry_exhaustion(self):
+        """rreq_retries + 1 attempts, then every queued packet is
+        surrendered and the pending queue is cleared."""
+        aodv = AodvConfig(rreq_retries=2, rreq_timeout=0.5)
+        sim, world, nodes = line_network(2, spacing=1000.0, aodv=aodv)
+        nodes[0].router.send_data(1, FrameKind.RESULT, "a", 10)
+        nodes[0].router.send_data(1, FrameKind.RESULT, "b", 10)
+        sim.run(until=10.0)
+        assert world.stats.by_kind["rreq"] == 3  # initial + 2 retries
+        assert [p.payload for p in nodes[0].failed] == ["a", "b"]
+        assert nodes[0].router._pending == {}
+
+    def test_reset_drops_routes_and_pending(self):
+        sim, world, nodes = line_network(3)
+        nodes[0].router.send_data(2, FrameKind.RESULT, "one", 10)
+        sim.run(until=5.0)
+        assert nodes[0].router.has_route(2)
+        nodes[0].router.reset()
+        assert nodes[0].router.routes == {}
+        assert nodes[0].router._pending == {}
+        assert nodes[0].router._seen_rreq == {}
+        # still functional after the wipe
+        nodes[0].router.send_data(2, FrameKind.RESULT, "two", 10)
+        sim.run(until=10.0)
+        assert [p for p, *_ in nodes[2].delivered] == ["one", "two"]
+
+
 class TestPartition:
     def test_partitioned_network_both_sides_work_internally(self):
         sim = Simulator()

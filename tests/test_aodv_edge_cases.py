@@ -1,7 +1,6 @@
 """Edge-case tests for AODV internals: sequence numbers, RERR paths,
 route replacement rules, and discovery corner cases."""
 
-import pytest
 
 from repro.net import (
     AodvConfig,
@@ -13,7 +12,7 @@ from repro.net import (
     StaticPlacement,
     World,
 )
-from repro.net.aodv import DataPacket, Route
+from repro.net.aodv import Route
 
 
 class AppNode(Node):

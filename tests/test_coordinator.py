@@ -4,11 +4,7 @@ import pytest
 
 from repro.data import QueryRequest, generate_workload, make_global_dataset
 from repro.net import StaticPlacement
-from repro.protocol import (
-    ProtocolConfig,
-    SimulationConfig,
-    run_manet_simulation,
-)
+from repro.protocol import SimulationConfig, run_manet_simulation
 from repro.protocol.coordinator import build_network
 
 

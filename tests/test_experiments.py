@@ -9,10 +9,8 @@ from repro.experiments import (
     clear_run_cache,
     figure_5a,
     figure_5b,
-    figure_12,
     get_scale,
     manet_panel,
-    render_table,
     static_drr_series,
     static_panel,
 )

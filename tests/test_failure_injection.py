@@ -11,6 +11,7 @@ import pytest
 
 from repro.core import skyline_of_relation
 from repro.data import QueryRequest, make_global_dataset
+from repro.faults import FaultSchedule
 from repro.net import RadioConfig, RandomWaypoint, StaticPlacement
 from repro.protocol import (
     ProtocolConfig,
@@ -134,3 +135,79 @@ class TestMobilityChurn:
         assert result.issued == 4
         for record in result.records:
             assert_result_internally_consistent(record, dataset)
+
+
+@pytest.mark.parametrize("strategy", ["bf", "df"])
+class TestInjectedDeviceChurn:
+    """The acceptance scenario: ~20% of the fleet crashes mid-query
+    under 30% frame loss, and the system degrades gracefully."""
+
+    def churn(self):
+        # 2 of 9 devices (22%) crash inside the query's lifetime — the
+        # window sits right after issue (t=1.0), before either strategy
+        # finishes collecting, so the crashes land mid-query for both;
+        # the originator is protected so the record survives.
+        return FaultSchedule.generate(
+            node_count=9, sim_time=300.0, seed=23,
+            crash_fraction=0.25, window=(1.02, 1.09),
+            mean_downtime=40.0, protect=(4,),
+        )
+
+    def run(self, dataset, strategy):
+        wl = [QueryRequest(device=4, time=1.0, distance=600.0)]
+        config = SimulationConfig(
+            strategy=strategy,
+            sim_time=300.0,
+            radio=RadioConfig(loss_rate=0.3),
+            protocol=ProtocolConfig(query_timeout=150.0),
+            seed=23,
+            faults=self.churn(),
+        )
+        return run_manet_simulation(dataset, wl, config)
+
+    def test_terminates_and_stays_consistent(self, dataset, strategy):
+        result = self.run(dataset, strategy)
+        assert result.issued == 1
+        record = result.records[0]
+        # terminated: completed by its own rule, or closed by the
+        # timeout — never stuck past query_timeout
+        assert record.closed or record.completion_time is not None
+        if record.completion_time is not None:
+            assert record.completion_time - record.issue_time <= 150.0
+        assert_result_internally_consistent(record, dataset)
+
+    def test_coverage_equals_verified_contributing_fraction(
+        self, dataset, strategy
+    ):
+        result = self.run(dataset, strategy)
+        record = result.records[0]
+        reachable_others = set(record.reachable_at_issue) - {4}
+        assert reachable_others, "originator saw no peers at issue time"
+        contributed = set(record.contributions) & reachable_others
+        assert record.coverage() == pytest.approx(
+            len(contributed) / len(reachable_others)
+        )
+        # every claimed contributor really sent a verifiable result
+        for device, contribution in record.contributions.items():
+            assert contribution.device == device
+
+    def test_identical_seeds_replay_identical_fault_traces(
+        self, dataset, strategy
+    ):
+        first = self.run(dataset, strategy)
+        second = self.run(dataset, strategy)
+        assert first.fault_events, "no faults were applied"
+        assert first.fault_events == second.fault_events
+        assert first.records[0].coverage() == second.records[0].coverage()
+
+    def test_crashed_originator_suppresses_issue(self, dataset, strategy):
+        faults = FaultSchedule().crash(0.5, node=4, downtime=10.0)
+        wl = [QueryRequest(device=4, time=1.0, distance=600.0)]
+        config = SimulationConfig(
+            strategy=strategy, sim_time=60.0,
+            protocol=ProtocolConfig(query_timeout=30.0),
+            seed=24, faults=faults,
+        )
+        result = run_manet_simulation(dataset, wl, config)
+        assert result.issued == 0
+        assert result.suppressed == 1

@@ -1,0 +1,368 @@
+"""Fault subsystem: schedules, the injector, world fault state, coverage.
+
+The contract under test: fault schedules are deterministic data, the
+injector replays them bit-for-bit against the world, crashed nodes
+neither transmit nor receive (and lose their protocol state), and the
+coverage metric reports exactly the contributing fraction of the
+issue-time-reachable fleet.
+"""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.metrics import coverage_histogram, mean_coverage, query_coverage
+from repro.net import (
+    Frame,
+    FrameKind,
+    RadioConfig,
+    Simulator,
+    StaticPlacement,
+    World,
+)
+from repro.net.trace import Tracer
+
+
+class Recorder:
+    """Minimal node: records deliveries and crash/recover hook calls."""
+
+    def __init__(self, world, node_id):
+        self.node_id = node_id
+        self.received = []
+        self.crashes = 0
+        self.recoveries = 0
+        world.attach(self)
+
+    def on_frame(self, frame, sender):
+        self.received.append((frame, sender))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def make_world(positions, radio=None, seed=0):
+    sim = Simulator()
+    world = World(sim, StaticPlacement(positions), radio or RadioConfig(), seed=seed)
+    nodes = [Recorder(world, i) for i in range(len(positions))]
+    return sim, world, nodes
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(time=-1.0, kind="node-crash", node=0)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(time=0.0, kind="meteor-strike")
+        with pytest.raises(ValueError, match="needs a node"):
+            FaultEvent(time=0.0, kind="node-crash")
+        with pytest.raises(ValueError, match="distinct"):
+            FaultEvent(time=0.0, kind="link-down", link=(3, 3))
+        with pytest.raises(ValueError, match="loss_rate"):
+            FaultEvent(time=0.0, kind="loss-burst-start")
+        with pytest.raises(ValueError, match="loss_rate"):
+            FaultEvent(time=0.0, kind="loss-burst-start", loss_rate=1.5)
+
+    def test_link_stored_sorted(self):
+        event = FaultEvent(time=1.0, kind="link-down", link=(5, 2))
+        assert event.link == (2, 5)
+
+    def test_signature(self):
+        event = FaultEvent(time=2.0, kind="node-crash", node=7)
+        assert event.signature() == (2.0, "node-crash", 7, None, None)
+
+
+class TestFaultSchedule:
+    def test_builders_chain_and_order(self):
+        schedule = (
+            FaultSchedule()
+            .crash(10.0, node=3, downtime=5.0)
+            .link_blackout(2.0, 1, 0, duration=4.0)
+            .loss_burst(7.0, rate=0.9, duration=1.0)
+        )
+        kinds = [e.kind for e in schedule]
+        times = [e.time for e in schedule]
+        assert times == sorted(times)
+        assert kinds == [
+            "link-down", "link-up", "loss-burst-start",
+            "loss-burst-end", "node-crash", "node-recover",
+        ]
+        assert len(schedule) == 6 and bool(schedule)
+
+    def test_crash_without_downtime_never_recovers(self):
+        schedule = FaultSchedule().crash(1.0, node=0)
+        assert [e.kind for e in schedule] == ["node-crash"]
+
+    def test_invalid_durations(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().crash(1.0, node=0, downtime=0.0)
+        with pytest.raises(ValueError):
+            FaultSchedule().link_blackout(1.0, 0, 1, duration=-2.0)
+        with pytest.raises(ValueError):
+            FaultSchedule().loss_burst(1.0, rate=0.5, duration=0.0)
+
+    def test_generate_deterministic(self):
+        kwargs = dict(
+            node_count=20, sim_time=300.0, crash_fraction=0.4,
+            link_blackouts=3, loss_bursts=2,
+        )
+        a = FaultSchedule.generate(seed=42, **kwargs)
+        b = FaultSchedule.generate(seed=42, **kwargs)
+        c = FaultSchedule.generate(seed=43, **kwargs)
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+    def test_generate_crash_fraction_and_protect(self):
+        schedule = FaultSchedule.generate(
+            node_count=10, sim_time=100.0, seed=7,
+            crash_fraction=0.5, protect=(0, 1),
+        )
+        crashed = schedule.crashed_nodes()
+        assert len(crashed) == 5
+        assert not set(crashed) & {0, 1}
+        assert all(0.0 <= e.time < 100.0 for e in schedule
+                   if e.kind == "node-crash")
+
+    def test_generate_window(self):
+        schedule = FaultSchedule.generate(
+            node_count=10, sim_time=100.0, seed=7,
+            crash_fraction=1.0, window=(40.0, 60.0),
+        )
+        assert all(40.0 <= e.time < 60.0 for e in schedule
+                   if e.kind == "node-crash")
+
+    def test_generate_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(node_count=0, sim_time=10.0, seed=1)
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(
+                node_count=2, sim_time=10.0, seed=1, crash_fraction=1.5
+            )
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(
+                node_count=2, sim_time=10.0, seed=1, window=(5.0, 20.0)
+            )
+
+
+class TestWorldFaults:
+    def test_crashed_node_does_not_transmit(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        world.fail_node(0)
+        failures = []
+        world.send(
+            Frame(kind=FrameKind.DATA, src=0, dst=1),
+            on_failure=failures.append,
+        )
+        assert world.broadcast(Frame(kind=FrameKind.QUERY, src=0, dst=None)) == []
+        sim.run()
+        assert nodes[1].received == []
+        # a dead transmitter radiates nothing: no drop stats, no callbacks
+        assert failures == []
+        assert world.stats.transmissions == 0
+
+    def test_frame_to_crashed_node_dropped_with_callback(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        world.fail_node(1)
+        failures = []
+        world.send(
+            Frame(kind=FrameKind.DATA, src=0, dst=1),
+            on_failure=failures.append,
+        )
+        sim.run()
+        assert nodes[1].received == []
+        assert len(failures) == 1
+        assert world.stats.drops == 1
+
+    def test_crash_mid_flight_drops_inflight_frame(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        world.fail_node(1)  # crashes before the transfer delay elapses
+        sim.run()
+        assert nodes[1].received == []
+
+    def test_crash_and_recover_hooks(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        world.fail_node(1)
+        assert not world.node_is_up(1)
+        assert list(world.down_nodes) == [1]
+        world.restore_node(1)
+        assert world.node_is_up(1)
+        assert nodes[1].crashes == 1
+        assert nodes[1].recoveries == 1
+        world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        sim.run()
+        assert len(nodes[1].received) == 1
+
+    def test_link_blackout_blocks_one_pair_only(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0), (200, 0)])
+        world.set_link_blackout(0, 1, True)
+        assert world.link_blacked_out(1, 0)
+        assert not world.can_communicate(0, 1)
+        assert world.can_communicate(1, 2)
+        assert world.neighbors(1) == [2]
+        failures = []
+        world.send(
+            Frame(kind=FrameKind.DATA, src=0, dst=1),
+            on_failure=failures.append,
+        )
+        world.send(Frame(kind=FrameKind.DATA, src=1, dst=2))
+        sim.run()
+        assert nodes[1].received == []
+        assert len(failures) == 1
+        assert len(nodes[2].received) == 1
+        world.set_link_blackout(0, 1, False)
+        world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        sim.run()
+        assert len(nodes[1].received) == 1
+
+    def test_loss_override(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        assert world.effective_loss_rate == 0.0
+        world.set_loss_override(1.0)
+        assert world.effective_loss_rate == 1.0
+        for _ in range(20):
+            world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        sim.run()
+        assert nodes[1].received == []
+        world.set_loss_override(None)
+        world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        sim.run()
+        assert len(nodes[1].received) == 1
+        with pytest.raises(ValueError):
+            world.set_loss_override(2.0)
+
+    def test_reachable_from(self):
+        # 0-1-2 a chain (adjacent pairs only, range 250), 3 isolated
+        _, world, _ = make_world([(0, 0), (200, 0), (400, 0), (2000, 0)])
+        assert world.reachable_from(0) == {0, 1, 2}
+        world.fail_node(1)
+        assert world.reachable_from(0) == {0}
+        world.restore_node(1)
+        world.set_link_blackout(1, 2, True)
+        assert world.reachable_from(0) == {0, 1}
+        with pytest.raises(ValueError):
+            world.reachable_from(99)
+
+    def test_connectivity_snapshot_excludes_faults(self):
+        _, world, _ = make_world([(0, 0), (100, 0), (200, 0)])
+        world.fail_node(2)
+        world.set_link_blackout(0, 1, True)
+        g = world.connectivity_snapshot()
+        # crashed nodes stay as vertices but are isolated
+        assert g.number_of_nodes() == 3
+        assert g.degree(2) == 0
+        assert not g.has_edge(0, 1)
+
+
+class TestFaultInjector:
+    def test_applies_schedule_and_records_trace(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        schedule = (
+            FaultSchedule()
+            .crash(1.0, node=1, downtime=2.0)
+            .link_blackout(4.0, 0, 1, duration=1.0)
+            .loss_burst(6.0, rate=0.7, duration=1.0)
+        )
+        tracer = Tracer().install(world)
+        injector = FaultInjector(schedule, tracer=tracer).install(world)
+        seen = []
+        sim.schedule_at(1.5, lambda: seen.append(world.node_is_up(1)))
+        sim.schedule_at(3.5, lambda: seen.append(world.node_is_up(1)))
+        sim.schedule_at(4.5, lambda: seen.append(world.link_blacked_out(0, 1)))
+        sim.schedule_at(5.5, lambda: seen.append(world.link_blacked_out(0, 1)))
+        sim.schedule_at(6.5, lambda: seen.append(world.effective_loss_rate))
+        sim.schedule_at(7.5, lambda: seen.append(world.effective_loss_rate))
+        sim.run()
+        assert seen == [False, True, True, False, 0.7, 0.0]
+        assert len(injector.applied) == len(schedule)
+        assert all(applied[-1] for applied in injector.applied)
+        fault_kinds = [e.kind for e in tracer.events if e.kind.startswith("fault-")]
+        assert len(fault_kinds) == len(schedule)
+
+    def test_redundant_transitions_marked_ineffective(self):
+        sim, world, _ = make_world([(0, 0), (100, 0)])
+        schedule = FaultSchedule().crash(1.0, node=1).crash(2.0, node=1)
+        injector = FaultInjector(schedule).install(world)
+        sim.run()
+        assert [a[-1] for a in injector.applied] == [True, False]
+
+    def test_nested_loss_bursts_restore_outer_rate(self):
+        sim, world, _ = make_world([(0, 0), (100, 0)])
+        schedule = (
+            FaultSchedule()
+            .loss_burst(1.0, rate=0.5, duration=10.0)
+            .loss_burst(3.0, rate=0.9, duration=2.0)
+        )
+        FaultInjector(schedule).install(world)
+        seen = []
+        for t in (2.0, 4.0, 6.0, 12.0):
+            sim.schedule_at(t, lambda: seen.append(world.effective_loss_rate))
+        sim.run()
+        assert seen == [0.5, 0.9, 0.5, 0.0]
+
+    def test_double_install_rejected(self):
+        sim, world, _ = make_world([(0, 0)])
+        injector = FaultInjector(FaultSchedule()).install(world)
+        with pytest.raises(RuntimeError):
+            injector.install(world)
+
+    def test_identical_runs_identical_applied_signature(self):
+        def run():
+            sim, world, _ = make_world([(0, 0), (100, 0), (200, 0)], seed=3)
+            schedule = FaultSchedule.generate(
+                node_count=3, sim_time=50.0, seed=11,
+                crash_fraction=0.7, link_blackouts=1, loss_bursts=1,
+            )
+            injector = FaultInjector(schedule).install(world)
+            sim.run()
+            return injector.applied_signature()
+
+        assert run() == run()
+
+
+class _StubRecord:
+    def __init__(self, coverage):
+        self._coverage = coverage
+
+    def coverage(self):
+        return self._coverage
+
+
+class TestCoverageMetrics:
+    def test_query_record_coverage(self):
+        from repro.core.query import SkylineQuery
+        from repro.protocol.device import QueryRecord
+
+        def record(reachable, contributing, originator=0):
+            r = QueryRecord(
+                query=SkylineQuery(origin=originator, cnt=1, pos=(0, 0), d=10.0),
+                issue_time=0.0, originator=originator,
+                local_unreduced=0, local_reduced=0, assembler=None,
+                reachable_at_issue=frozenset(reachable),
+            )
+            r.contributions = {d: object() for d in contributing}
+            return r
+
+        assert record((), ()).coverage() is None  # pre-accounting record
+        assert record((0,), ()).coverage() == 1.0  # nothing else reachable
+        assert record((0, 1, 2, 3, 4), (1, 2)).coverage() == pytest.approx(0.5)
+        # contributions from devices outside the snapshot don't inflate it
+        assert record((0, 1, 2), (1, 2, 7)).coverage() == pytest.approx(1.0)
+
+    def test_mean_coverage(self):
+        records = [_StubRecord(1.0), _StubRecord(0.5), _StubRecord(None)]
+        assert query_coverage(records[1]) == 0.5
+        assert mean_coverage(records) == pytest.approx(0.75)
+        assert mean_coverage([]) is None
+        assert mean_coverage([_StubRecord(None)]) is None
+
+    def test_coverage_histogram(self):
+        records = [_StubRecord(v) for v in (0.0, 0.05, 0.55, 1.0, None)]
+        counts = coverage_histogram(records, bins=10)
+        assert counts[0] == 2
+        assert counts[5] == 1
+        assert counts[9] == 1  # 1.0 lands in the closed last bin
+        assert sum(counts) == 4
+        with pytest.raises(ValueError):
+            coverage_histogram(records, bins=0)

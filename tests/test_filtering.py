@@ -1,6 +1,5 @@
 """Tests for filtering tuples, VDR, and estimation modes (Sections 3.2-3.3)."""
 
-import itertools
 
 import numpy as np
 import pytest
@@ -9,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.core import (
     Estimation,
-    FilteringTuple,
     estimation_bounds,
     select_filter,
     select_filter_set,

@@ -9,10 +9,8 @@ import pytest
 
 from repro.core import skyline_of_relation
 from repro.data import QueryRequest, make_global_dataset
-from repro.net import RadioConfig, Simulator, StaticPlacement, World
+from repro.net import RadioConfig, StaticPlacement
 from repro.protocol import (
-    BFDevice,
-    DFDevice,
     ProtocolConfig,
     SimulationConfig,
     run_manet_simulation,

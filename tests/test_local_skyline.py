@@ -12,7 +12,6 @@ from repro.core import (
     local_skyline,
     local_skyline_vectorized,
     select_filter,
-    skyline_bruteforce,
     skyline_of_relation,
 )
 from repro.storage import (

@@ -1,13 +1,11 @@
 """Tests for the metrics layer (DRR, response time, message counts)."""
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import pytest
 
 from repro.metrics import (
-    MessageCounts,
     bf_response_time,
     data_reduction_rate,
     df_response_time,

@@ -15,7 +15,6 @@ from repro.core import (
     skyline_of_relation,
 )
 from repro.core.multifilter import (
-    MultiFilterResult,
     local_skyline_multifilter,
     prune_with_filters,
 )
@@ -70,7 +69,8 @@ class TestMultiFilterLocal:
                                           estimation=Estimation.EXACT)
         multi = local_skyline_multifilter(rel, WIDE, [flt], k=1,
                                           estimation=Estimation.EXACT)
-        key = lambda r: sorted(map(tuple, r.values.tolist()))
+        def key(r):
+            return sorted(map(tuple, r.values.tolist()))
         assert key(single.skyline) == key(multi.skyline)
         assert single.unreduced_size == multi.unreduced_size
 

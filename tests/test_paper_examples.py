@@ -5,13 +5,9 @@ through filter selection, pruning, and dynamic promotion on them. These
 tests pin our implementation to the paper's own numbers.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import (
     Estimation,
-    FilteringTuple,
-    estimation_bounds,
     local_skyline,
     select_filter,
     skyline_of_relation,
@@ -23,7 +19,6 @@ from repro.storage import (
     HybridStorage,
     Relation,
     RelationSchema,
-    SiteTuple,
 )
 
 # Global bounds assumed in Section 3.2: price <= 200, rating <= 10.

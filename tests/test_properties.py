@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.core import (
     Estimation,
-    FilteringTuple,
     SkylineQuery,
     local_skyline_vectorized,
     merge_skylines,
@@ -21,7 +20,7 @@ from repro.core import (
 )
 from repro.protocol.static_grid import StaticGridCache, run_static_query
 from repro.data import make_global_dataset
-from repro.storage import HybridStorage, Relation, SiteTuple, uniform_schema
+from repro.storage import HybridStorage, Relation, uniform_schema
 
 # -- strategies -------------------------------------------------------------
 
@@ -49,7 +48,6 @@ class TestHybridStorageLaws:
     def test_encode_decode_roundtrip(self, args):
         rel = build_relation(*args)
         hs = HybridStorage(rel)
-        vm = hs.values_matrix()
         for row in range(min(rel.cardinality, 10)):
             ids = tuple(int(i) for i in hs.ids[row])
             assert hs.encode_values(hs.decode_ids(ids)) == ids
@@ -141,9 +139,10 @@ class TestMergeAlgebra:
         b = skyline_of_relation(build_relation(20, 2, seed + 99))
         ab = merge_skylines(a, b)
         ba = merge_skylines(b, a)
-        key = lambda r: sorted(
-            map(tuple, np.column_stack([r.xy, r.values]).tolist())
-        )
+        def key(r):
+            return sorted(
+                map(tuple, np.column_stack([r.xy, r.values]).tolist())
+            )
         assert key(ab) == key(ba)
 
 

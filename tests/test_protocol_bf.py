@@ -1,11 +1,10 @@
 """Tests for the breadth-first (flooding) strategy."""
 
-import numpy as np
 import pytest
 
 from repro.core import skyline_of_relation
 from repro.data import make_global_dataset
-from repro.net import AodvConfig, RadioConfig, Simulator, StaticPlacement, World
+from repro.net import RadioConfig, Simulator, StaticPlacement, World
 from repro.protocol import BFDevice, ProtocolConfig
 from repro.storage import union_all
 

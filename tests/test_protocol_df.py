@@ -1,6 +1,5 @@
 """Tests for the depth-first (token passing) strategy."""
 
-import numpy as np
 import pytest
 
 from repro.core import skyline_of_relation

@@ -5,7 +5,7 @@ import pytest
 from repro.core import FilteringTuple, SkylineQuery
 from repro.net.messages import QUERY_BYTES, tuple_bytes
 from repro.protocol import QueryMessage, ResultMessage, TokenMessage
-from repro.storage import Relation, SiteTuple, uniform_schema
+from repro.storage import Relation, SiteTuple
 
 
 @pytest.fixture

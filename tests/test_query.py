@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import COUNTER_MODULUS, QueryCounter, QueryLog, SkylineQuery
+from repro.core import QueryCounter, QueryLog, SkylineQuery
 
 
 class TestSkylineQuery:

@@ -4,16 +4,16 @@ import numpy as np
 import pytest
 
 from repro.core import skyline_of_relation
-from repro.data import QueryRequest, make_global_dataset
-from repro.net import RandomWaypoint, StaticPlacement
-from repro.protocol import SimulationConfig, run_manet_simulation
+from repro.data import make_global_dataset
+from repro.net import RandomWaypoint
+from repro.protocol import SimulationConfig
 from repro.protocol.coordinator import build_network
 from repro.protocol.redistribution import (
     RedistributionProcess,
     locality_score,
     redistribute_once,
 )
-from repro.storage import Relation, uniform_schema, union_all
+from repro.storage import Relation
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.storage import Relation, uniform_schema, union_all
+from repro.storage import Relation, union_all
 
 from .conftest import relation_from_values
 

@@ -1,6 +1,5 @@
 """Unit tests for the relation schema and tuple model."""
 
-import math
 
 import pytest
 

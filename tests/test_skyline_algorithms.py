@@ -21,7 +21,7 @@ from repro.core import (
 )
 from repro.core.skyline import sfs_sort_order
 from repro.data import generate
-from repro.storage import Relation, uniform_schema
+from repro.storage import Relation
 
 from .conftest import relation_from_values
 

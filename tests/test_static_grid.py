@@ -1,6 +1,5 @@
 """Tests for the static-grid pre-test runner (Section 5.2.2-I)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,7 +9,6 @@ from repro.data import make_global_dataset
 from repro.metrics import data_reduction_rate
 from repro.protocol import run_static_grid, run_static_query
 from repro.protocol.static_grid import StaticGridCache
-from repro.storage import union_all
 
 
 @pytest.fixture(scope="module")

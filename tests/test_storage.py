@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.storage import (
     DomainStorage,
@@ -15,7 +13,6 @@ from repro.storage import (
     uniform_schema,
 )
 
-from .conftest import relation_from_values
 
 ALL_STORAGES = [FlatStorage, HybridStorage, DomainStorage, RingStorage]
 

@@ -10,7 +10,7 @@ from repro.net import (
     StaticPlacement,
     World,
 )
-from repro.net.trace import TraceEvent, Tracer
+from repro.net.trace import Tracer
 
 
 class Sink:

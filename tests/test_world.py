@@ -44,7 +44,11 @@ class TestRadioConfig:
         with pytest.raises(ValueError):
             RadioConfig(latency=-1)
         with pytest.raises(ValueError):
-            RadioConfig(loss_rate=1.0)
+            RadioConfig(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            RadioConfig(loss_rate=-0.1)
+        # 1.0 (total blackout) is a legal fault-injection setting
+        assert RadioConfig(loss_rate=1.0).loss_rate == 1.0
 
 
 class TestTopology:
