@@ -1,0 +1,319 @@
+#!/usr/bin/env python
+"""Microbenchmark for the world's connectivity hot path.
+
+Measures ``neighbors``, ``reachable_from``, and ``broadcast`` throughput
+at m ∈ {20, 50, 100, 200} nodes under RandomWaypoint mobility, on the
+epoch-cached neighbor index versus the uncached O(m²) reference path,
+plus end-to-end BF and DF query runs (wall-clock and mean in-simulation
+response latency). Emits ``BENCH_world.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_world.py            # full run
+    PYTHONPATH=src python benchmarks/bench_world.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_world.py --check BENCH_world.json
+
+``--check`` validates an existing output file against the schema and
+exits non-zero on any violation (the CI job's integrity gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+SCHEMA_VERSION = "bench_world/v1"
+SIZES = (20, 50, 100, 200)
+MICRO_OPS = ("neighbors", "reachable_from", "broadcast")
+
+
+# -- world construction -----------------------------------------------------
+
+
+class _SilentNode:
+    """Attachable node that drops every delivered frame."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_frame(self, frame, sender) -> None:  # pragma: no cover - noop
+        pass
+
+
+def _build_world(m: int, seed: int, extent_side: float):
+    from repro.net import RadioConfig, RandomWaypoint, Simulator, World
+
+    sim = Simulator()
+    mobility = RandomWaypoint(
+        node_count=m,
+        extent=(0.0, 0.0, extent_side, extent_side),
+        holding_time=30.0,
+        seed=seed,
+    )
+    world = World(sim, mobility, RadioConfig(radio_range=250.0), seed=seed)
+    for i in range(m):
+        world.attach(_SilentNode(i))
+    return sim, world
+
+
+# -- micro measurements -----------------------------------------------------
+
+
+def _measure(fn, times, min_ops: int) -> Dict[str, float]:
+    """Run ``fn(t)`` over the time grid until >= min_ops ops, timed."""
+    ops = 0
+    start = time.perf_counter()
+    while ops < min_ops:
+        for t in times:
+            ops += fn(t)
+            if ops >= min_ops:
+                break
+    elapsed = time.perf_counter() - start
+    return {"ops": ops, "seconds": elapsed, "ops_per_s": ops / elapsed}
+
+
+def bench_micro(m: int, smoke: bool) -> Dict[str, Dict[str, float]]:
+    """One size point: cached vs uncached throughput for each operation."""
+    from repro.net import Frame, FrameKind
+
+    # Density matters more than area: keep ~m/8 nodes per radio disk by
+    # scaling the arena with sqrt(m), the regime the paper simulates.
+    extent_side = 1000.0 * (m / 50.0) ** 0.5
+    n_times = 10 if smoke else 40
+    budget = {
+        "neighbors": (4 * m if smoke else 40 * m, 2 * m if smoke else 10 * m),
+        "reachable_from": (8 if smoke else 60, 4 if smoke else 20),
+        "broadcast": (2 * m if smoke else 20 * m, m if smoke else 5 * m),
+    }
+    times = [round(5.0 + 7.3 * k, 3) for k in range(n_times)]
+    out: Dict[str, Dict[str, float]] = {}
+
+    for op in MICRO_OPS:
+        cached_ops, uncached_ops = budget[op]
+        results = {}
+        for label, min_ops, cached in (
+            ("cached", cached_ops, True),
+            ("uncached", uncached_ops, False),
+        ):
+            sim, world = _build_world(m, seed=1234, extent_side=extent_side)
+            world.cache_enabled = cached
+
+            if op == "neighbors":
+                def fn(t, sim=sim, world=world, m=m):
+                    if sim.now < t:
+                        sim.run(until=t)
+                    for i in range(m):
+                        world.neighbors(i)
+                    return m
+            elif op == "reachable_from":
+                def fn(t, sim=sim, world=world, m=m):
+                    if sim.now < t:
+                        sim.run(until=t)
+                    world.reachable_from(0)
+                    world.reachable_from(m // 2)
+                    return 2
+            else:  # broadcast
+                def fn(t, sim=sim, world=world, m=m):
+                    if sim.now < t:
+                        sim.run(until=t)
+                    for src in range(0, m, 4):
+                        world.broadcast(
+                            Frame(kind=FrameKind.QUERY, src=src, dst=None,
+                                  payload=None, size_bytes=32)
+                        )
+                    # Drain deliveries so the heap stays bounded.
+                    sim.run()
+                    return (m + 3) // 4
+
+            results[label] = _measure(fn, times, min_ops)
+        out[op] = {
+            "cached_ops_per_s": results["cached"]["ops_per_s"],
+            "uncached_ops_per_s": results["uncached"]["ops_per_s"],
+            "speedup": (
+                results["cached"]["ops_per_s"]
+                / results["uncached"]["ops_per_s"]
+            ),
+        }
+    return out
+
+
+# -- end-to-end measurements ------------------------------------------------
+
+
+def bench_end_to_end(smoke: bool) -> Dict[str, Dict[str, float]]:
+    """Full BF/DF runs: wall time cached vs uncached, plus sim latency."""
+    from dataclasses import replace
+
+    from repro.data import make_global_dataset, generate_workload
+    from repro.protocol import SimulationConfig, run_manet_simulation
+
+    devices = 9 if smoke else 25
+    cardinality = 600 if smoke else 2000
+    sim_time = 150.0 if smoke else 400.0
+    dataset = make_global_dataset(
+        cardinality, 2, devices, "independent", seed=7, value_step=1.0
+    )
+    workload = generate_workload(
+        devices=devices, sim_time=sim_time, distance=500.0,
+        queries_per_device=(1, 1) if smoke else (1, 2), seed=8,
+    )
+    # Throwaway warmup so import/JIT costs don't bias whichever mode
+    # happens to run first.
+    warm_ds = make_global_dataset(200, 2, 4, "independent", seed=1,
+                                  value_step=1.0)
+    warm_wl = generate_workload(devices=4, sim_time=30.0, distance=400.0,
+                                queries_per_device=(1, 1), seed=2)
+    run_manet_simulation(
+        warm_ds, warm_wl, SimulationConfig(strategy="bf", sim_time=30.0, seed=3)
+    )
+
+    out: Dict[str, Dict[str, float]] = {}
+    for strategy in ("bf", "df"):
+        base = SimulationConfig(strategy=strategy, sim_time=sim_time, seed=9)
+        entry: Dict[str, float] = {}
+        latencies: List[float] = []
+        for cached in (True, False):
+            config = replace(base, use_neighbor_cache=cached)
+            start = time.perf_counter()
+            result = run_manet_simulation(dataset, workload, config)
+            wall = time.perf_counter() - start
+            entry["wall_s_cached" if cached else "wall_s_uncached"] = wall
+            if cached:
+                latencies = [
+                    r.completion_time - r.issue_time
+                    for r in result.completed
+                ]
+                entry["queries_completed"] = float(len(latencies))
+        entry["wall_speedup"] = entry["wall_s_uncached"] / entry["wall_s_cached"]
+        entry["mean_response_s"] = (
+            sum(latencies) / len(latencies) if latencies else 0.0
+        )
+        out[strategy] = entry
+    return out
+
+
+# -- schema -----------------------------------------------------------------
+
+
+def validate(doc: dict) -> List[str]:
+    """Schema check; returns a list of violations (empty == valid)."""
+    errors: List[str] = []
+
+    def num(x) -> bool:
+        return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(f"schema must be {SCHEMA_VERSION!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("smoke must be a bool")
+    if doc.get("sizes") != list(SIZES):
+        errors.append(f"sizes must be {list(SIZES)}")
+    micro = doc.get("micro")
+    if not isinstance(micro, dict):
+        errors.append("micro must be an object")
+        micro = {}
+    for op in MICRO_OPS:
+        per_op = micro.get(op)
+        if not isinstance(per_op, dict):
+            errors.append(f"micro.{op} missing")
+            continue
+        for m in SIZES:
+            point = per_op.get(str(m))
+            if not isinstance(point, dict):
+                errors.append(f"micro.{op}.{m} missing")
+                continue
+            for field in ("cached_ops_per_s", "uncached_ops_per_s", "speedup"):
+                if not num(point.get(field)) or point.get(field) <= 0:
+                    errors.append(f"micro.{op}.{m}.{field} must be > 0")
+    e2e = doc.get("end_to_end")
+    if not isinstance(e2e, dict):
+        errors.append("end_to_end must be an object")
+        e2e = {}
+    for strategy in ("bf", "df"):
+        entry = e2e.get(strategy)
+        if not isinstance(entry, dict):
+            errors.append(f"end_to_end.{strategy} missing")
+            continue
+        for field in ("wall_s_cached", "wall_s_uncached", "wall_speedup",
+                      "mean_response_s", "queries_completed"):
+            if not num(entry.get(field)):
+                errors.append(f"end_to_end.{strategy}.{field} must be numeric")
+    return errors
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def run(smoke: bool) -> dict:
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "smoke": smoke,
+        "radio_range": 250.0,
+        "sizes": list(SIZES),
+        "micro": {op: {} for op in MICRO_OPS},
+        "end_to_end": {},
+    }
+    for m in SIZES:
+        print(f"micro m={m} ...", file=sys.stderr)
+        point = bench_micro(m, smoke)
+        for op in MICRO_OPS:
+            doc["micro"][op][str(m)] = point[op]
+    print("end-to-end bf/df ...", file=sys.stderr)
+    doc["end_to_end"] = bench_end_to_end(smoke)
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast CI variant (same schema)")
+    parser.add_argument("--out", default="BENCH_world.json",
+                        help="output path (default: BENCH_world.json)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing output file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as fh:
+            doc = json.load(fh)
+        errors = validate(doc)
+        if errors:
+            for err in errors:
+                print(f"schema violation: {err}", file=sys.stderr)
+            return 1
+        r200 = doc["micro"]["reachable_from"]["200"]["speedup"]
+        print(f"{args.check}: valid ({SCHEMA_VERSION}); "
+              f"reachable_from speedup at m=200: {r200:.1f}x")
+        return 0
+
+    doc = run(smoke=args.smoke)
+    errors = validate(doc)
+    if errors:  # pragma: no cover - self-check
+        for err in errors:
+            print(f"internal schema violation: {err}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for op in MICRO_OPS:
+        speedups = ", ".join(
+            f"m={m}: {doc['micro'][op][str(m)]['speedup']:.1f}x"
+            for m in SIZES
+        )
+        print(f"{op:>15}: {speedups}")
+    for strategy in ("bf", "df"):
+        entry = doc["end_to_end"][strategy]
+        print(f"{strategy:>15}: wall {entry['wall_s_cached']:.2f}s cached vs "
+              f"{entry['wall_s_uncached']:.2f}s uncached "
+              f"({entry['wall_speedup']:.1f}x), "
+              f"mean response {entry['mean_response_s']:.3f}s over "
+              f"{int(entry['queries_completed'])} queries")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -284,7 +284,10 @@ def skyline_of_relation(
             f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
         )
     if relation.cardinality == 0:
-        return relation
+        # A fresh empty copy, not the input itself: the documented
+        # contract is "a new relation", and returning the input would
+        # let callers alias and mutate the source.
+        return relation.take(np.empty(0, dtype=np.int64))
     values = relation.normalized_values()
     if algorithm in ("bnl", "sfs"):
         idx = _ALGORITHMS[algorithm](values, counter=counter)

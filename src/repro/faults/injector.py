@@ -11,6 +11,13 @@ Every *applied* transition is appended to :attr:`FaultInjector.applied`
 — the deterministic fault trace the acceptance tests compare bit for bit
 — and, when a :class:`~repro.net.trace.Tracer` is given, mirrored into
 the shared trace stream as ``fault-*`` application events.
+
+Cache coherence: each connectivity-affecting application (crash,
+recovery, blackout toggle) bumps ``World.connectivity_epoch``, which
+invalidates the world's epoch-cached neighbor index — fault injection
+can never be served a stale ``neighbors``/``reachable_from`` answer,
+no matter how queries interleave with transitions at the same
+simulation time.
 """
 
 from __future__ import annotations

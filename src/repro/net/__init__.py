@@ -18,6 +18,7 @@ from .mobility import (
     StaticPlacement,
 )
 from .node import Node
+from .spatial_index import NeighborIndex
 from .trace import TraceEvent, Tracer
 from .world import NetworkNode, RadioConfig, TrafficStats, World
 
@@ -33,6 +34,7 @@ __all__ = [
     "FrameKind",
     "HEADER_BYTES",
     "MobilityModel",
+    "NeighborIndex",
     "NetworkNode",
     "Node",
     "Process",

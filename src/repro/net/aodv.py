@@ -24,6 +24,10 @@ advertisements: devices call :meth:`AodvRouter.learn_route` for the
 path back toward the query originator, exactly as AODV learns reverse
 routes from RREQs — this is why result unicasts rarely need a fresh
 discovery.
+
+Determinism: RREQ floods rely on ``World.broadcast``, whose receiver
+order is the world's sorted-id neighbor order (never attach order), so
+route discovery replays identically for identical topologies.
 """
 
 from __future__ import annotations
@@ -131,7 +135,7 @@ class AodvRouter:
         self.routes: Dict[int, Route] = {}
         self._seq = 0
         self._rreq_id = 0
-        self._seen_rreq: Dict[Tuple[int, int], bool] = {}
+        self._seen_rreq: set = set()
         self._pending: Dict[int, _Pending] = {}
 
     @property
@@ -319,7 +323,7 @@ class AodvRouter:
             "hops": 0,
             "ttl": self.config.ttl,
         }
-        self._seen_rreq[(self.node_id, self._rreq_id)] = True
+        self._seen_rreq.add((self.node_id, self._rreq_id))
         self.world.broadcast(
             Frame(
                 kind=FrameKind.RREQ, src=self.node_id, dst=None,
@@ -373,7 +377,7 @@ class AodvRouter:
         key = (payload["origin"], payload["rreq_id"])
         if key in self._seen_rreq:
             return
-        self._seen_rreq[key] = True
+        self._seen_rreq.add(key)
         hops = payload["hops"] + 1
         self._install(payload["origin"], sender, hops, payload["origin_seq"])
         dest = payload["dest"]

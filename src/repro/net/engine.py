@@ -100,16 +100,20 @@ class Simulator:
 
         ``until`` is inclusive: events scheduled exactly at ``until`` run;
         afterwards ``now`` equals ``until`` even if the queue drained
-        earlier (so a 2-hour simulation reports 2 hours).
+        earlier (so a 2-hour simulation reports 2 hours). The clamp
+        applies on every exit path with no live events left at or before
+        ``until`` — including a ``max_events``-capped run whose queue
+        holds only cancelled debris; a cap that stops mid-simulation
+        (live events still due) leaves ``now`` at the last fired event.
         """
         fired = 0
         while self._heap:
-            if max_events is not None and fired >= max_events:
-                return
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
                 continue
+            if max_events is not None and fired >= max_events:
+                break
             if until is not None and head.time > until:
                 break
             heapq.heappop(self._heap)
@@ -117,7 +121,11 @@ class Simulator:
             head.callback(*head.args)
             self._events_fired += 1
             fired += 1
-        if until is not None and self._now < until:
+        if (
+            until is not None
+            and self._now < until
+            and (not self._heap or self._heap[0].time > until)
+        ):
             self._now = until
 
     def step(self) -> bool:

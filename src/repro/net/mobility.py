@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import abc
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -60,6 +61,7 @@ class StaticPlacement(MobilityModel):
         self._positions = [
             (float(x), float(y)) for x, y in positions
         ]
+        self._array = np.array(self._positions, dtype=np.float64)
 
     @property
     def node_count(self) -> int:
@@ -69,6 +71,11 @@ class StaticPlacement(MobilityModel):
         if t < 0:
             raise ValueError("time must be >= 0")
         return self._positions[node]
+
+    def positions(self, t: float) -> np.ndarray:
+        if t < 0:
+            raise ValueError("time must be >= 0")
+        return self._array.copy()
 
 
 @dataclass(frozen=True)
@@ -137,6 +144,14 @@ class RandomWaypoint(MobilityModel):
             np.random.default_rng(s) for s in seed_seq.spawn(node_count)
         ]
         self._legs: List[List[_Leg]] = [[] for _ in range(node_count)]
+        #: Parallel list of leg end times per node (for bisection), and a
+        #: per-node cursor remembering the last covering leg: repeated
+        #: queries at the same (or a nearby) time hit the cursor and skip
+        #: the log-time search entirely. Connectivity sweeps ask for all
+        #: nodes at one time, then again at the same time — the cursor
+        #: makes those follow-up lookups O(1).
+        self._ends: List[List[float]] = [[] for _ in range(node_count)]
+        self._cursors: List[int] = [0] * node_count
         if start_positions is not None:
             if len(start_positions) != node_count:
                 raise ValueError(
@@ -166,23 +181,23 @@ class RandomWaypoint(MobilityModel):
         if t < 0:
             raise ValueError("time must be >= 0")
         legs = self._legs[node]
-        while not legs or legs[-1].t_end < t:
+        ends = self._ends[node]
+        while not ends or ends[-1] < t:
             self._extend(node)
-            legs = self._legs[node]
-        # Binary search for the covering leg.
-        lo, hi = 0, len(legs) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if legs[mid].t_end < t:
-                lo = mid + 1
-            else:
-                hi = mid
-        return legs[lo].at(t)
+        # Cursor fast path: the covering leg is the first whose end time
+        # is >= t; re-querying the same leg skips the bisection.
+        cur = self._cursors[node]
+        if cur < len(legs) and ends[cur] >= t and (cur == 0 or ends[cur - 1] < t):
+            return legs[cur].at(t)
+        cur = bisect_left(ends, t)
+        self._cursors[node] = cur
+        return legs[cur].at(t)
 
     def _extend(self, node: int) -> None:
         """Append one (pause, travel) pair to the node's trajectory."""
         rng = self._rngs[node]
         legs = self._legs[node]
+        ends = self._ends[node]
         if legs:
             t0 = legs[-1].t_end
             pos = legs[-1].end
@@ -194,6 +209,7 @@ class RandomWaypoint(MobilityModel):
         if self._holding > 0:
             legs.append(_Leg(t0, t0 + self._holding, pos, pos))
             t0 += self._holding
+            ends.append(t0)
         x_min, y_min, x_max, y_max = self._extent
         dest = (float(rng.uniform(x_min, x_max)), float(rng.uniform(y_min, y_max)))
         speed = float(rng.uniform(*self._speed_range))
@@ -202,3 +218,4 @@ class RandomWaypoint(MobilityModel):
         if duration <= 0:
             duration = 1e-9  # degenerate zero-length trip
         legs.append(_Leg(t0, t0 + duration, pos, dest))
+        ends.append(t0 + duration)

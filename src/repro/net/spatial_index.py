@@ -1,0 +1,236 @@
+"""Epoch-cached spatial neighbor index for the wireless world.
+
+Every hop of BF/DF query processing asks the world a connectivity
+question (``neighbors``, ``reachable_from``, ``broadcast``), and the
+naive answer recomputes all pairwise positions and distances from the
+mobility model — O(m²) random-waypoint evaluations per question. This
+module memoises the answer per simulation time:
+
+* **Position layer** — one ``mobility.positions(t)`` sweep per distinct
+  simulation time yields the full ``(node_count, 2)`` position array,
+  shared by every geometric query at that time.
+* **Grid layer** — a uniform spatial hash with cell size equal to the
+  radio range. Two nodes can only be in range if their cells are
+  adjacent (Chebyshev distance <= 1), so adjacency construction inspects
+  each cell pair once instead of every node pair: the same
+  comparison-space pruning the skyline literature applies to dominance
+  tests, applied here to unit-disk neighborhood tests.
+* **Epoch layer** — fault state (crashed nodes, link blackouts) and
+  topology changes (late ``attach``) bump a generation counter; the
+  adjacency cache is keyed on ``(sim.now, epoch, radio_range)`` so fault
+  injection can never be served a stale connectivity answer.
+
+Determinism contract: neighbor lists are sorted by node id, so BFS
+order, broadcast delivery order, and therefore event sequence numbers
+depend only on the topology — never on the order nodes were attached.
+The in-range predicate is the squared-distance test
+``dx*dx + dy*dy <= r*r`` evaluated in IEEE float64, bit-identical
+between the cached (vectorised) and uncached (scalar) paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .world import World
+
+__all__ = ["NeighborIndex"]
+
+#: Half of the 3x3 Moore neighborhood: together with the in-cell pass,
+#: these offsets visit every unordered pair of adjacent cells exactly once.
+_HALF_NEIGHBORHOOD = ((1, 0), (0, 1), (1, 1), (1, -1))
+
+
+class NeighborIndex:
+    """Per-simulation-time memo of positions and fault-aware adjacency.
+
+    The index is owned by a :class:`~repro.net.world.World` and consults
+    the world's live fault state (``_down``, ``_blackouts``) at rebuild
+    time; the world bumps :attr:`epoch` via :meth:`invalidate` whenever
+    that state (or the attached-node set) changes.
+    """
+
+    def __init__(self, world: "World") -> None:
+        self._world = world
+        self._epoch = 0
+        self._rebuilds = 0
+        # position layer, keyed by simulation time only (mobility does
+        # not depend on fault state or attachment)
+        self._pos_time: Optional[float] = None
+        self._pos: Optional[np.ndarray] = None
+        # adjacency layer, keyed by (time, epoch, radio range)
+        self._adj_key: Optional[Tuple[float, int, float]] = None
+        self._geom: Dict[int, List[int]] = {}
+        self._eff: Dict[int, List[int]] = {}
+
+    # -- invalidation -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current connectivity generation; bumps invalidate the cache."""
+        return self._epoch
+
+    @property
+    def rebuilds(self) -> int:
+        """Adjacency rebuilds performed so far (cache diagnostics)."""
+        return self._rebuilds
+
+    def invalidate(self) -> None:
+        """Bump the epoch: the next query rebuilds adjacency.
+
+        Cached positions survive — they depend only on simulation time.
+        """
+        self._epoch += 1
+        self._adj_key = None
+
+    # -- position layer -----------------------------------------------------
+
+    def positions(self) -> np.ndarray:
+        """All node positions at the current simulation time.
+
+        One vectorised mobility sweep per distinct time; the returned
+        array is the cache itself — treat it as read-only.
+        """
+        t = self._world.sim.now
+        if self._pos_time != t or self._pos is None:
+            self._pos = self._world.mobility.positions(t)
+            self._pos_time = t
+        return self._pos
+
+    def position(self, node: int) -> Tuple[float, float]:
+        """Position of ``node`` at the current time.
+
+        Served from the position memo when it is already fresh;
+        otherwise a single scalar mobility lookup — a lone unicast range
+        check between adjacency builds must not pay for a full m-node
+        sweep. Scalar and vectorised lookups yield identical float64
+        values, so answers never depend on which path served them.
+        """
+        t = self._world.sim.now
+        if self._pos_time == t and self._pos is not None:
+            row = self._pos[node]
+            return (float(row[0]), float(row[1]))
+        return self._world.mobility.position(node, t)
+
+    # -- adjacency layer ----------------------------------------------------
+
+    def neighbors(self, node: int) -> List[int]:
+        """Fault-aware neighbor ids of ``node``, sorted ascending.
+
+        The list is the cache's own — callers must not mutate it.
+        """
+        self._ensure()
+        hit = self._eff.get(node)
+        if hit is not None:
+            return hit
+        # Unattached node: answer geometrically against the attached set
+        # (legacy World.neighbors semantics), without polluting the cache.
+        return self._world._uncached_neighbors(node)
+
+    def geometric_neighbors(self, node: int) -> List[int]:
+        """In-range neighbor ids ignoring fault state, sorted ascending."""
+        self._ensure()
+        hit = self._geom.get(node)
+        if hit is not None:
+            return hit
+        return [
+            other
+            for other in sorted(self._world._nodes)
+            if self._world.in_range(node, other)
+        ]
+
+    def reachable_from(self, node: int) -> set:
+        """Transitive fault-aware closure of ``node`` (BFS, includes it)."""
+        self._ensure()
+        eff = self._eff
+        seen = {node}
+        frontier = [node]
+        while frontier:
+            nxt = []
+            for current in frontier:
+                for other in eff.get(current, ()):
+                    if other not in seen:
+                        seen.add(other)
+                        nxt.append(other)
+            frontier = nxt
+        return seen
+
+    def _ensure(self) -> None:
+        world = self._world
+        key = (world.sim.now, self._epoch, world.radio.radio_range)
+        if self._adj_key == key:
+            return
+        self._build(key)
+
+    def _build(self, key: Tuple[float, int, float]) -> None:
+        world = self._world
+        pos = self.positions()
+        ids = sorted(world._nodes)
+        r = world.radio.radio_range
+        r2 = r * r
+        geom: Dict[int, List[int]] = {i: [] for i in ids}
+
+        # Spatial hash: cell side = radio range, so candidates live in
+        # the 3x3 neighborhood of a node's cell.
+        cells: Dict[Tuple[int, int], List[int]] = {}
+        for i in ids:
+            cell = (
+                int(math.floor(pos[i, 0] / r)),
+                int(math.floor(pos[i, 1] / r)),
+            )
+            cells.setdefault(cell, []).append(i)
+
+        # Enumerate candidate pairs (adjacent-cell occupants only) in
+        # plain Python — cells are small, so list appends beat numpy's
+        # per-call overhead — then range-test all candidates in one
+        # vectorised pass.
+        cand_a: List[int] = []
+        cand_b: List[int] = []
+        for (cx, cy), members in cells.items():
+            for idx, u in enumerate(members):
+                for v in members[idx + 1 :]:
+                    cand_a.append(u)
+                    cand_b.append(v)
+            for ox, oy in _HALF_NEIGHBORHOOD:
+                other = cells.get((cx + ox, cy + oy))
+                if not other:
+                    continue
+                for u in members:
+                    for v in other:
+                        cand_a.append(u)
+                        cand_b.append(v)
+        if cand_a:
+            a = np.asarray(cand_a, dtype=np.int64)
+            b = np.asarray(cand_b, dtype=np.int64)
+            dx = pos[a, 0] - pos[b, 0]
+            dy = pos[a, 1] - pos[b, 1]
+            hits = (dx * dx + dy * dy) <= r2
+            for u, v in zip(a[hits], b[hits]):
+                geom[int(u)].append(int(v))
+                geom[int(v)].append(int(u))
+
+        down = world._down
+        blackouts = world._blackouts
+        eff: Dict[int, List[int]] = {}
+        for i in ids:
+            geom[i].sort()
+            if i in down:
+                eff[i] = []
+            elif blackouts:
+                eff[i] = [
+                    j
+                    for j in geom[i]
+                    if j not in down and frozenset((i, j)) not in blackouts
+                ]
+            elif down:
+                eff[i] = [j for j in geom[i] if j not in down]
+            else:
+                eff[i] = geom[i][:]
+        self._geom = geom
+        self._eff = eff
+        self._adj_key = key
+        self._rebuilds += 1

@@ -19,6 +19,7 @@ import numpy as np
 from .engine import Simulator
 from .messages import Frame, FrameKind
 from .mobility import MobilityModel
+from .spatial_index import NeighborIndex
 
 __all__ = ["World", "RadioConfig", "TrafficStats", "NetworkNode"]
 
@@ -111,11 +112,20 @@ class World:
     paths consult :meth:`can_communicate`, which folds fault state into
     the unit-disk test.
 
+    Connectivity questions are answered by an epoch-cached
+    :class:`~repro.net.spatial_index.NeighborIndex` (one vectorised
+    position sweep per simulation time, spatial-hash adjacency, epoch
+    invalidation on fault transitions). Set ``cache=False`` to force the
+    scalar O(m²) reference path — the differential test suite asserts
+    both paths agree bit for bit.
+
     Args:
         sim: The event engine.
         mobility: Position oracle for all nodes.
         radio: Physical-layer parameters.
         seed: Seed for the loss process.
+        cache: Answer connectivity queries from the neighbor index
+            (default) rather than the uncached reference path.
     """
 
     def __init__(
@@ -124,6 +134,7 @@ class World:
         mobility: MobilityModel,
         radio: RadioConfig = RadioConfig(),
         seed: Optional[int] = None,
+        cache: bool = True,
     ) -> None:
         self.sim = sim
         self.mobility = mobility
@@ -134,6 +145,8 @@ class World:
         self._down: set = set()
         self._blackouts: set = set()
         self._loss_override: Optional[float] = None
+        self.cache_enabled = cache
+        self._index = NeighborIndex(self)
         #: Optional per-node energy meters; when present, frame
         #: transmissions and receptions are charged to them
         #: (``repro.devices.EnergyMeter`` instances keyed by node id).
@@ -151,15 +164,30 @@ class World:
         if node.node_id in self._nodes:
             raise ValueError(f"node {node.node_id} already attached")
         self._nodes[node.node_id] = node
+        self._index.invalidate()
 
     @property
     def node_ids(self) -> List[int]:
         """Attached node ids, sorted."""
         return sorted(self._nodes)
 
+    @property
+    def connectivity_epoch(self) -> int:
+        """Generation counter of fault/topology state; any transition
+        that can change a connectivity answer bumps it, invalidating the
+        neighbor index."""
+        return self._index.epoch
+
     def position(self, node: int) -> tuple:
         """Current position of ``node``."""
+        if self.cache_enabled:
+            return self._index.position(node)
         return self.mobility.position(node, self.sim.now)
+
+    def positions(self) -> "np.ndarray":
+        """``(node_count, 2)`` array of all positions right now (one
+        vectorised mobility sweep, memoised per simulation time)."""
+        return self._index.positions()
 
     def distance(self, a: int, b: int) -> float:
         """Current distance between two nodes."""
@@ -167,8 +195,18 @@ class World:
         return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
 
     def in_range(self, a: int, b: int) -> bool:
-        """Are ``a`` and ``b`` geometrically within radio range?"""
-        return a != b and self.distance(a, b) <= self.radio.radio_range
+        """Are ``a`` and ``b`` geometrically within radio range?
+
+        The squared-distance unit-disk test, evaluated identically on
+        the cached and uncached paths.
+        """
+        if a == b:
+            return False
+        pa, pb = self.position(a), self.position(b)
+        dx = pa[0] - pb[0]
+        dy = pa[1] - pb[1]
+        r = self.radio.radio_range
+        return dx * dx + dy * dy <= r * r
 
     def can_communicate(self, a: int, b: int) -> bool:
         """Can ``a`` and ``b`` currently exchange frames?
@@ -184,10 +222,19 @@ class World:
         )
 
     def neighbors(self, node: int) -> List[int]:
-        """Nodes ``node`` can currently exchange frames with."""
-        return [
-            other for other in self._nodes if self.can_communicate(node, other)
-        ]
+        """Nodes ``node`` can currently exchange frames with, in sorted
+        id order (determinism contract: never attach order)."""
+        if self.cache_enabled:
+            return self._index.neighbors(node)
+        return self._uncached_neighbors(node)
+
+    def neighbor_map(self) -> Dict[int, List[int]]:
+        """Current fault-aware neighbor lists for every attached node.
+
+        One cache build serves the whole map — the bulk variant of
+        :meth:`neighbors` for callers sweeping all nodes at once.
+        """
+        return {i: list(self.neighbors(i)) for i in self.node_ids}
 
     def reachable_from(self, node: int) -> set:
         """Transitive communication closure of ``node`` right now.
@@ -198,12 +245,45 @@ class World:
         """
         if node not in self._nodes:
             raise ValueError(f"unknown node {node}")
+        if self.cache_enabled:
+            return self._index.reachable_from(node)
+        return self._uncached_reachable_from(node)
+
+    # -- uncached reference path -------------------------------------------
+    #
+    # The pre-index O(m²) implementations, kept as the ground truth the
+    # differential tests and `benchmarks/bench_world.py` compare the
+    # cached path against. They bypass the position memo entirely.
+
+    def _uncached_position(self, node: int) -> tuple:
+        return self.mobility.position(node, self.sim.now)
+
+    def _uncached_can_communicate(self, a: int, b: int) -> bool:
+        if a == b or a in self._down or b in self._down:
+            return False
+        if frozenset((a, b)) in self._blackouts:
+            return False
+        pa = self._uncached_position(a)
+        pb = self._uncached_position(b)
+        dx = pa[0] - pb[0]
+        dy = pa[1] - pb[1]
+        r = self.radio.radio_range
+        return dx * dx + dy * dy <= r * r
+
+    def _uncached_neighbors(self, node: int) -> List[int]:
+        return [
+            other
+            for other in sorted(self._nodes)
+            if self._uncached_can_communicate(node, other)
+        ]
+
+    def _uncached_reachable_from(self, node: int) -> set:
         seen = {node}
         frontier = [node]
         while frontier:
             nxt = []
             for current in frontier:
-                for other in self.neighbors(current):
+                for other in self._uncached_neighbors(current):
                     if other not in seen:
                         seen.add(other)
                         nxt.append(other)
@@ -228,6 +308,7 @@ class World:
         if node in self._down:
             return
         self._down.add(node)
+        self._index.invalidate()
         attached = self._nodes.get(node)
         on_crash = getattr(attached, "on_crash", None)
         if on_crash is not None:
@@ -239,6 +320,7 @@ class World:
         if node not in self._down:
             return
         self._down.discard(node)
+        self._index.invalidate()
         attached = self._nodes.get(node)
         on_recover = getattr(attached, "on_recover", None)
         if on_recover is not None:
@@ -248,10 +330,14 @@ class World:
         """Force the pairwise link ``a``–``b`` down (or lift the blackout)."""
         if a == b:
             raise ValueError("a link needs two distinct endpoints")
+        link = frozenset((a, b))
+        changed = blocked != (link in self._blackouts)
         if blocked:
-            self._blackouts.add(frozenset((a, b)))
+            self._blackouts.add(link)
         else:
-            self._blackouts.discard(frozenset((a, b)))
+            self._blackouts.discard(link)
+        if changed:
+            self._index.invalidate()
 
     def link_blacked_out(self, a: int, b: int) -> bool:
         """Is the pairwise link ``a``–``b`` currently forced down?"""
@@ -282,17 +368,15 @@ class World:
         g = nx.Graph()
         ids = self.node_ids
         g.add_nodes_from(ids)
-        positions = {i: self.position(i) for i in ids}
-        r2 = self.radio.radio_range**2
-        for i_pos, i in enumerate(ids):
-            xi, yi = positions[i]
-            for j in ids[i_pos + 1 :]:
-                if i in self._down or j in self._down:
-                    continue
-                if frozenset((i, j)) in self._blackouts:
-                    continue
-                xj, yj = positions[j]
-                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
+        if self.cache_enabled:
+            for i in ids:
+                for j in self._index.neighbors(i):
+                    if i < j:
+                        g.add_edge(i, j)
+            return g
+        for i in ids:
+            for j in self._uncached_neighbors(i):
+                if i < j:
                     g.add_edge(i, j)
         return g
 

@@ -47,6 +47,10 @@ class SimulationConfig:
             entry so in-flight queries can finish.
         faults: Optional deterministic fault schedule (device churn,
             link blackouts, loss bursts) injected into the run.
+        use_neighbor_cache: Answer connectivity queries from the world's
+            epoch-cached neighbor index (default) or the uncached O(m²)
+            reference path. Both produce bit-identical runs — the flag
+            exists for differential tests and benchmarks.
     """
 
     strategy: str = "bf"
@@ -59,6 +63,7 @@ class SimulationConfig:
     seed: Optional[int] = None
     drain_time: float = 120.0
     faults: Optional[FaultSchedule] = None
+    use_neighbor_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -119,7 +124,10 @@ def build_network(
             f"mobility tracks {mobility.node_count} nodes but the dataset "
             f"has {dataset.devices} partitions"
         )
-    world = World(sim, mobility, config.radio, seed=config.seed)
+    world = World(
+        sim, mobility, config.radio, seed=config.seed,
+        cache=config.use_neighbor_cache,
+    )
     device_cls = BFDevice if config.strategy == "bf" else DFDevice
     devices: List[SkylineDevice] = [
         device_cls(

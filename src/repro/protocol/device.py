@@ -749,11 +749,13 @@ class DFDevice(SkylineDevice):
         """Forward to one unvisited neighbour, else backtrack."""
         if token.query.origin == self.node_id:
             self._last_token_activity = self.sim.now
-        candidates = sorted(
+        # World.neighbors is sorted by id (determinism contract), so the
+        # lowest-id unvisited neighbour is simply the first survivor.
+        candidates = [
             n
             for n in self.world.neighbors(self.node_id)
             if n not in token.visited and n not in failed
-        )
+        ]
         if candidates:
             target = candidates[0]
             outgoing = TokenMessage(

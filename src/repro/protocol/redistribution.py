@@ -188,10 +188,11 @@ class RedistributionProcess:
 
     def _round(self) -> None:
         relations = [d.relation for d in self.devices]
+        # One neighbor-index build serves the whole round: positions and
+        # neighbor lists all come from the same per-time cache.
+        neighbor_map = self.world.neighbor_map()
         positions = [self.world.position(d.node_id) for d in self.devices]
-        neighbor_lists = [
-            self.world.neighbors(d.node_id) for d in self.devices
-        ]
+        neighbor_lists = [neighbor_map[d.node_id] for d in self.devices]
         new_relations, moved = redistribute_once(
             relations, positions, neighbor_lists, self.improvement, self.ratio
         )

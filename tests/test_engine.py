@@ -77,6 +77,46 @@ class TestRunControl:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_max_events_with_cancelled_debris_clamps_to_until(self):
+        """Regression: a capped run whose queue holds only cancelled
+        events is drained — ``now`` must still clamp to ``until``."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        debris = sim.schedule(3.0, lambda: None)
+        debris.cancel()
+        sim.run(until=50.0, max_events=2)
+        assert sim.now == 50.0
+
+    def test_max_events_midstream_does_not_clamp(self):
+        """A cap that stops with live events still due before ``until``
+        leaves ``now`` at the last fired event."""
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(until=50.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 2.0
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_max_events_with_remaining_events_beyond_until_clamps(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(99.0, lambda: None)
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 10.0
+
+    def test_exact_cap_on_drained_queue_clamps(self):
+        """Both exit conditions at once (cap == event count, queue
+        empty): the clamp still applies."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=30.0, max_events=2)
+        assert sim.now == 30.0
+
     def test_step(self):
         sim = Simulator()
         fired = []

@@ -187,6 +187,18 @@ class TestRelationLevel:
         rel = Relation.empty(schema2)
         assert skyline_of_relation(rel).cardinality == 0
 
+    def test_empty_relation_returns_fresh_copy(self, schema2):
+        """Regression: the documented contract is "a new relation" — the
+        empty case must not alias the input."""
+        rel = Relation.empty(schema2)
+        sky = skyline_of_relation(rel)
+        assert sky is not rel
+        assert sky.cardinality == 0
+        assert sky.schema is rel.schema
+        # The copy's arrays are independent of the source's.
+        assert sky.values is not rel.values
+        assert sky.xy is not rel.xy
+
     @pytest.mark.parametrize("algorithm", ["bruteforce", "bnl", "sfs", "dc", "numpy"])
     def test_all_algorithms_dispatchable(self, small_relation, algorithm):
         sky = skyline_of_relation(small_relation, algorithm)

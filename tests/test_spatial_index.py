@@ -1,0 +1,301 @@
+"""Differential tests for the epoch-cached neighbor index.
+
+The cached path (position memo + spatial hash grid + epoch
+invalidation) must agree *bit for bit* with the uncached O(m²)
+reference path — across random-waypoint motion, node crashes and
+recoveries, and link blackouts, at hundreds of sampled times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    Frame,
+    FrameKind,
+    RadioConfig,
+    RandomWaypoint,
+    Simulator,
+    StaticPlacement,
+    World,
+)
+
+
+class Recorder:
+    """Minimal node: records delivered frames."""
+
+    def __init__(self, world, node_id):
+        self.node_id = node_id
+        self.received = []
+        world.attach(self)
+
+    def on_frame(self, frame, sender):
+        self.received.append((frame, sender))
+
+
+def waypoint_world(m=24, seed=11, radio_range=180.0, extent=(0, 0, 600, 600)):
+    sim = Simulator()
+    mobility = RandomWaypoint(
+        node_count=m, extent=extent, holding_time=5.0, seed=seed
+    )
+    world = World(sim, mobility, RadioConfig(radio_range=radio_range), seed=seed)
+    nodes = [Recorder(world, i) for i in range(m)]
+    return sim, world, nodes
+
+
+def assert_world_agrees(world):
+    """Cached answers == uncached reference answers, for every node."""
+    ids = world.node_ids
+    for i in ids:
+        assert world.neighbors(i) == world._uncached_neighbors(i), (
+            f"neighbors({i}) diverged at t={world.sim.now}"
+        )
+    for i in ids:
+        assert world.reachable_from(i) == world._uncached_reachable_from(i), (
+            f"reachable_from({i}) diverged at t={world.sim.now}"
+        )
+    g = world.connectivity_snapshot()
+    expected_edges = {
+        (i, j) for i in ids for j in world._uncached_neighbors(i) if i < j
+    }
+    assert {tuple(sorted(e)) for e in g.edges} == expected_edges
+    assert set(g.nodes) == set(ids)
+
+
+class TestDifferential:
+    def test_motion_and_faults_200_sampled_times(self):
+        """≥200 sampled times under RWP motion with churn and blackouts."""
+        m = 24
+        sim, world, _ = waypoint_world(m=m, seed=11)
+        rng = np.random.default_rng(42)
+        times = np.sort(rng.uniform(0.0, 900.0, size=220))
+        for k, t in enumerate(times):
+            sim.run(until=float(t))  # empty queue: clamps now to t
+            # Churn fault state between samples.
+            action = k % 6
+            node = int(rng.integers(m))
+            if action == 0:
+                world.fail_node(node)
+            elif action == 1:
+                world.restore_node(node)
+            elif action == 2:
+                a, b = rng.choice(m, size=2, replace=False)
+                world.set_link_blackout(int(a), int(b), True)
+            elif action == 3 and world._blackouts:
+                a, b = sorted(next(iter(world._blackouts)))
+                world.set_link_blackout(a, b, False)
+            assert_world_agrees(world)
+
+    def test_same_time_fault_transition_invalidates(self):
+        """A crash between two queries at the *same* simulation time must
+        be visible immediately (epoch invalidation, not time keying)."""
+        positions = [(0, 0), (100, 0), (200, 0)]
+        sim = Simulator()
+        world = World(sim, StaticPlacement(positions), RadioConfig(radio_range=150))
+        for i in range(3):
+            Recorder(world, i)
+        assert world.neighbors(0) == [1]
+        assert world.reachable_from(0) == {0, 1, 2}
+        epoch = world.connectivity_epoch
+        world.fail_node(1)
+        assert world.connectivity_epoch > epoch
+        assert world.neighbors(0) == []
+        assert world.reachable_from(0) == {0}
+        world.restore_node(1)
+        assert world.neighbors(0) == [1]
+        world.set_link_blackout(0, 1, True)
+        assert world.neighbors(0) == []
+        assert world.reachable_from(0) == {0}
+        world.set_link_blackout(0, 1, False)
+        assert world.reachable_from(0) == {0, 1, 2}
+        assert_world_agrees(world)
+
+    def test_noop_fault_transitions_do_not_invalidate(self):
+        sim, world, _ = waypoint_world(m=4)
+        world.fail_node(2)
+        epoch = world.connectivity_epoch
+        world.fail_node(2)  # already down
+        world.restore_node(3)  # already up
+        world.set_link_blackout(0, 1, False)  # not blacked out
+        assert world.connectivity_epoch == epoch
+
+    def test_cache_disabled_world_matches_cached_world(self):
+        """The public API of a cache=False world equals a cached twin's."""
+        m = 12
+        mob_kwargs = dict(node_count=m, extent=(0, 0, 500, 500), seed=3)
+        sim_a = Simulator()
+        world_a = World(
+            sim_a, RandomWaypoint(**mob_kwargs), RadioConfig(radio_range=200)
+        )
+        sim_b = Simulator()
+        world_b = World(
+            sim_b,
+            RandomWaypoint(**mob_kwargs),
+            RadioConfig(radio_range=200),
+            cache=False,
+        )
+        for i in range(m):
+            Recorder(world_a, i)
+            Recorder(world_b, i)
+        for t in (0.0, 7.5, 31.2, 118.0, 407.9):
+            sim_a.run(until=t)
+            sim_b.run(until=t)
+            for i in range(m):
+                assert world_a.neighbors(i) == world_b.neighbors(i)
+                assert world_a.reachable_from(i) == world_b.reachable_from(i)
+                assert world_a.position(i) == world_b.position(i)
+                for j in range(m):
+                    assert world_a.in_range(i, j) == world_b.in_range(i, j)
+
+
+class TestCacheBehaviour:
+    def test_repeated_queries_build_once(self):
+        sim, world, _ = waypoint_world(m=10)
+        sim.run(until=50.0)
+        before = world._index.rebuilds
+        for _ in range(5):
+            for i in world.node_ids:
+                world.neighbors(i)
+            world.reachable_from(0)
+            world.connectivity_snapshot()
+        assert world._index.rebuilds == before + 1
+
+    def test_positions_memoised_per_time(self):
+        sim, world, _ = waypoint_world(m=6)
+        sim.run(until=10.0)
+        arr1 = world.positions()
+        arr2 = world.positions()
+        assert arr1 is arr2
+        sim.run(until=20.0)
+        assert world.positions() is not arr1
+
+    def test_neighbor_map_matches_per_node_queries(self):
+        sim, world, _ = waypoint_world(m=10)
+        sim.run(until=33.0)
+        world.fail_node(4)
+        nm = world.neighbor_map()
+        assert sorted(nm) == world.node_ids
+        for i, lst in nm.items():
+            assert lst == world.neighbors(i)
+
+    def test_radio_range_change_invalidates(self):
+        sim, world, _ = waypoint_world(m=10, radio_range=50.0)
+        sim.run(until=5.0)
+        sparse = {i: world.neighbors(i) for i in world.node_ids}
+        world.radio = RadioConfig(radio_range=600.0)
+        dense = {i: world.neighbors(i) for i in world.node_ids}
+        assert any(len(dense[i]) > len(sparse[i]) for i in world.node_ids)
+        assert_world_agrees(world)
+
+
+class TestAttachOrderDeterminism:
+    """Regression: connectivity answers and broadcast delivery order must
+    depend only on node ids, never on attachment order."""
+
+    POSITIONS = [(0, 0), (100, 0), (200, 0), (150, 100), (900, 900)]
+
+    def build(self, order):
+        sim = Simulator()
+        world = World(
+            sim, StaticPlacement(self.POSITIONS), RadioConfig(radio_range=160)
+        )
+        nodes = {i: Recorder(world, i) for i in order}
+        return sim, world, nodes
+
+    def test_neighbors_sorted_regardless_of_attach_order(self):
+        m = len(self.POSITIONS)
+        _, world_fwd, _ = self.build(range(m))
+        _, world_rev, _ = self.build(reversed(range(m)))
+        for i in range(m):
+            fwd = world_fwd.neighbors(i)
+            assert fwd == world_rev.neighbors(i)
+            assert fwd == sorted(fwd)
+            assert world_fwd.reachable_from(i) == world_rev.reachable_from(i)
+
+    def test_broadcast_receiver_order_attach_order_independent(self):
+        m = len(self.POSITIONS)
+        results = []
+        for order in (list(range(m)), list(reversed(range(m)))):
+            sim, world, nodes = self.build(order)
+            receivers = world.broadcast(
+                Frame(kind=FrameKind.QUERY, src=1, dst=None, payload=None,
+                      size_bytes=10)
+            )
+            sim.run()
+            delivered = [
+                i for i in sorted(nodes) for f, _ in nodes[i].received
+            ]
+            results.append((receivers, delivered))
+        assert results[0] == results[1]
+        assert results[0][0] == sorted(results[0][0])
+
+
+class TestEndToEndDifferential:
+    @pytest.mark.parametrize("strategy", ["bf", "df"])
+    def test_full_simulation_identical_with_and_without_cache(self, strategy):
+        """An entire MANET run (mobility, AODV, skyline protocol, fault
+        schedule) replays bit-identically on cached and uncached worlds."""
+        from dataclasses import replace
+
+        from repro.data import QueryRequest, make_global_dataset
+        from repro.faults import FaultSchedule
+        from repro.protocol import SimulationConfig, run_manet_simulation
+
+        dataset = make_global_dataset(600, 2, 9, "independent", seed=17,
+                                      value_step=1.0)
+        workload = [
+            QueryRequest(device=4, time=1.0, distance=500.0),
+            QueryRequest(device=0, time=40.0, distance=400.0),
+            QueryRequest(device=7, time=90.0, distance=600.0),
+        ]
+        faults = FaultSchedule.generate(
+            node_count=9, sim_time=200.0, seed=23,
+            crash_fraction=0.3, mean_downtime=40.0, link_blackouts=3,
+            protect=(0, 4, 7),
+        )
+        base = SimulationConfig(
+            strategy=strategy, sim_time=200.0, seed=99, faults=faults,
+        )
+        outs = {}
+        for cached in (True, False):
+            config = replace(base, use_neighbor_cache=cached)
+            outs[cached] = run_manet_simulation(dataset, workload, config)
+        a, b = outs[True], outs[False]
+        assert a.events == b.events
+        assert a.issued == b.issued and a.suppressed == b.suppressed
+        assert a.fault_events == b.fault_events
+        assert a.traffic.transmissions == b.traffic.transmissions
+        assert a.traffic.deliveries == b.traffic.deliveries
+        assert a.traffic.drops == b.traffic.drops
+        assert a.traffic.by_kind == b.traffic.by_kind
+        assert a.energy_joules == b.energy_joules
+        assert len(a.records) == len(b.records)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.issue_time == rb.issue_time
+            assert ra.originator == rb.originator
+            assert ra.completion_time == rb.completion_time
+
+
+class TestUnattachedNodeFallback:
+    def test_neighbors_of_unattached_mobility_slot(self):
+        """Legacy semantics: a node with a mobility slot but no attached
+        device still gets a geometric answer against the attached set."""
+        sim = Simulator()
+        world = World(
+            sim,
+            StaticPlacement([(0, 0), (100, 0), (500, 0)]),
+            RadioConfig(radio_range=150),
+        )
+        Recorder(world, 0)
+        Recorder(world, 1)
+        # slot 2 never attached; query it anyway
+        assert world.neighbors(2) == []
+        world2 = World(
+            Simulator(),
+            StaticPlacement([(0, 0), (100, 0), (120, 0)]),
+            RadioConfig(radio_range=150),
+        )
+        Recorder(world2, 0)
+        Recorder(world2, 1)
+        assert world2.neighbors(2) == [0, 1]
+        with pytest.raises(ValueError):
+            world2.reachable_from(2)
