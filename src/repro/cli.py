@@ -97,12 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the results as a markdown report to FILE",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help=(
+            "worker processes for MANET sweeps (default: REPRO_WORKERS "
+            "or the CPU count; 1 = serial reference path)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persistent run-cache directory (default: REPRO_CACHE_DIR "
+            "or .repro_cache; 'off' disables disk caching)"
+        ),
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """Entry point for ``python -m repro`` / ``repro-skyline``."""
     args = build_parser().parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    ex.configure(workers=args.workers, cache_dir=args.cache_dir)
     scale = ex.get_scale(args.scale)
     results = []
     for fn in _FIGURES[args.figure]:

@@ -5,9 +5,24 @@ its running result ``SK_org``: duplicates are identified by location only
 (no two distinct sites share an ``(x, y)``), and dominance is resolved in
 both directions so non-qualifying tuples from either side are removed.
 The paper does this "within a simple nested loop"; the implementation
-below mirrors those semantics (with a vectorised fast path) and is also
-used by intermediate devices in depth-first forwarding, which merge
-results en route.
+below mirrors those semantics and is also used by intermediate devices in
+depth-first forwarding, which merge results en route.
+
+Two execution paths produce bit-identical results:
+
+* the **legacy** path (:func:`merge_skylines` with ``block=None`` and
+  :class:`SkylineAssembler` in ``incremental=False`` mode) rebuilds a
+  :class:`~repro.storage.relation.Relation` per contribution with one
+  unbounded ``(C, I, d)`` broadcast — the reference semantics;
+* the **incremental** path (the default) maintains a running
+  ``(xy, values, site_ids)`` array triple plus its normalization,
+  eliminates duplicates against a persistent location set (one hash
+  lookup per incoming row instead of rebuilding the set per merge), and
+  resolves dominance in ``(block, block, d)`` chunks so peak memory is
+  bounded regardless of skyline size.
+
+The differential suite in ``tests/test_fast_path_parity.py`` pins the
+two paths to each other bit for bit.
 """
 
 from __future__ import annotations
@@ -19,16 +34,68 @@ import numpy as np
 from ..storage.relation import Relation
 from ..storage.schema import RelationSchema
 
-__all__ = ["merge_skylines", "SkylineAssembler"]
+__all__ = ["merge_skylines", "SkylineAssembler", "DEFAULT_MERGE_BLOCK"]
+
+#: Default chunk edge for the blocked dominance pass: peak intermediate
+#: memory is ``block² · d`` booleans per comparison direction.
+DEFAULT_MERGE_BLOCK = 512
 
 
-def merge_skylines(current: Relation, incoming: Relation) -> Relation:
+def _dominated_by(
+    by: np.ndarray, targets: np.ndarray, block: Optional[int]
+) -> np.ndarray:
+    """Mask over ``targets`` rows strictly dominated by some ``by`` row.
+
+    Both inputs are in minimization space. ``block=None`` runs one
+    unbounded broadcast (the legacy reference); an integer runs the same
+    elementwise comparisons in ``(block, block)`` tiles — identical
+    output, bounded peak memory.
+    """
+    n_targets = targets.shape[0]
+    if by.shape[0] == 0 or n_targets == 0:
+        return np.zeros(n_targets, dtype=bool)
+    if block is None:
+        no_worse = (by[:, None, :] <= targets[None, :, :]).all(axis=2)
+        better = (by[:, None, :] < targets[None, :, :]).any(axis=2)
+        return (no_worse & better).any(axis=0)
+    out = np.zeros(n_targets, dtype=bool)
+    dims = by.shape[1]
+    for j in range(0, n_targets, block):
+        tgt = targets[j : j + block]
+        # Bound the broadcast intermediates to block² elements per
+        # attribute: when one side is short, the other side's chunk
+        # grows to compensate, so a lopsided comparison (a handful of
+        # incoming rows against a big running skyline) still runs in a
+        # single numpy pass instead of many tiny tiles.
+        rows = max(block, (block * block) // tgt.shape[0])
+        for i in range(0, by.shape[0], rows):
+            blk = by[i : i + rows]
+            # Attribute-at-a-time 2-D comparisons: the equivalent
+            # (R, T, d) broadcast forces numpy onto a strided inner
+            # loop that is an order of magnitude slower here.
+            no_worse = blk[:, 0:1] <= tgt[:, 0]
+            better = blk[:, 0:1] < tgt[:, 0]
+            for a in range(1, dims):
+                no_worse &= blk[:, a : a + 1] <= tgt[:, a]
+                better |= blk[:, a : a + 1] < tgt[:, a]
+            out[j : j + block] |= (no_worse & better).any(axis=0)
+    return out
+
+
+def merge_skylines(
+    current: Relation,
+    incoming: Relation,
+    block: Optional[int] = DEFAULT_MERGE_BLOCK,
+) -> Relation:
     """Merge an incoming partial skyline into the current one.
 
     Args:
         current: The running merged skyline (internally dominance-free).
         incoming: A reduced local skyline ``SK'_i`` (also internally
             dominance-free, as local skylines are).
+        block: Chunk edge for the blocked dominance pass; ``None`` uses
+            one unbounded broadcast (the legacy reference path). Output
+            is bit-identical either way.
 
     Returns:
         The updated skyline: duplicates dropped (first copy wins),
@@ -48,23 +115,15 @@ def merge_skylines(current: Relation, incoming: Relation) -> Relation:
     # Duplicate detection by (x, y) only (Section 4.3).
     dup_incoming = _duplicate_mask(incoming.xy, current.xy)
 
-    # a dominates b: a <= b everywhere, a < b somewhere (minimization space).
-    no_worse = (cur_vals[:, None, :] <= inc_vals[None, :, :]).all(axis=2)
-    better = (cur_vals[:, None, :] < inc_vals[None, :, :]).any(axis=2)
-    dominates_ci = no_worse & better  # (cur, inc)
-
-    no_worse_t = (inc_vals[:, None, :] <= cur_vals[None, :, :]).all(axis=2)
-    better_t = (inc_vals[:, None, :] < cur_vals[None, :, :]).any(axis=2)
-    dominates_ic = no_worse_t & better_t  # (inc, cur)
-
-    inc_dominated = dominates_ci.any(axis=0)
+    # a dominates b: a <= b everywhere, a < b somewhere (minimization
+    # space). Incoming tuples are tested against the *pre-merge* current
+    # set and vice versa, exactly as the nested loop of the paper does.
+    inc_dominated = _dominated_by(cur_vals, inc_vals, block)
     keep_incoming = ~(inc_dominated | dup_incoming)
     # Only non-duplicate incoming survivors may evict current members —
     # a duplicate carries no new information, and a dominated incoming
     # tuple cannot dominate anything the current set keeps.
-    cur_dominated = dominates_ic[keep_incoming].any(axis=0) if keep_incoming.any() else (
-        np.zeros(current.cardinality, dtype=bool)
-    )
+    cur_dominated = _dominated_by(inc_vals[keep_incoming], cur_vals, block)
     keep_current = ~cur_dominated
 
     merged_xy = np.vstack([current.xy[keep_current], incoming.xy[keep_incoming]])
@@ -74,16 +133,16 @@ def merge_skylines(current: Relation, incoming: Relation) -> Relation:
     merged_ids = np.concatenate(
         [current.site_ids[keep_current], incoming.site_ids[keep_incoming]]
     )
-    return Relation(current.schema, merged_xy, merged_vals, merged_ids)
+    return Relation._wrap(current.schema, merged_xy, merged_vals, merged_ids)
 
 
 def _duplicate_mask(xy: np.ndarray, against: np.ndarray) -> np.ndarray:
     """Rows of ``xy`` whose exact location appears in ``against``."""
     if against.shape[0] == 0 or xy.shape[0] == 0:
         return np.zeros(xy.shape[0], dtype=bool)
-    seen = {(float(x), float(y)) for x, y in against}
+    seen = set(map(tuple, against.tolist()))
     return np.fromiter(
-        ((float(x), float(y)) in seen for x, y in xy),
+        (key in seen for key in map(tuple, xy.tolist())),
         dtype=bool,
         count=xy.shape[0],
     )
@@ -106,24 +165,127 @@ class SkylineAssembler:
     arriving ``SK'_i`` with :meth:`add`, and read the final (or current
     partial) answer from :meth:`result`. Merging is incremental, exactly
     as the paper describes.
+
+    Args:
+        schema: The shared relation schema.
+        initial: The originator's own local skyline (optional seed).
+        incremental: ``True`` (default) maintains running arrays with a
+            persistent duplicate-location set and chunked dominance;
+            ``False`` rebuilds a relation per contribution via
+            :func:`merge_skylines` — the legacy reference path. Both
+            produce bit-identical results.
+        block: Chunk edge for the incremental dominance pass; ignored in
+            legacy mode (which always uses the unbounded broadcast).
     """
 
-    def __init__(self, schema: RelationSchema, initial: Optional[Relation] = None):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        initial: Optional[Relation] = None,
+        *,
+        incremental: bool = True,
+        block: int = DEFAULT_MERGE_BLOCK,
+    ):
+        if block < 1:
+            raise ValueError("block must be >= 1")
         self._schema = schema
-        self._current = (
+        self._incremental = incremental
+        self._block = block
+        self._merges = 0
+        seed = (
             _dedup_within(initial) if initial is not None else Relation.empty(schema)
         )
-        self._merges = 0
+        if incremental:
+            d = schema.dimensions
+            self._xy = seed.xy
+            self._values = seed.values
+            self._site_ids = seed.site_ids
+            self._norm = (
+                seed.normalized_values()
+                if seed.cardinality
+                else np.empty((0, d), dtype=np.float64)
+            )
+            self._coords: set = set(map(tuple, seed.xy.tolist()))
+            self._result_cache: Optional[Relation] = seed
+        else:
+            self._current = seed
 
     @property
     def merges(self) -> int:
         """How many partial results have been merged in."""
         return self._merges
 
+    # -- incremental internals ----------------------------------------------
+
+    def _add_incremental(self, incoming: Relation) -> None:
+        inc_xy = incoming.xy
+        inc_norm = incoming.normalized_values()
+        n_inc = incoming.cardinality
+
+        # Duplicate elimination in one pass: against the persistent
+        # location set (O(1) lookups instead of rebuilding the set per
+        # merge) and within the contribution itself (first copy wins).
+        coords = self._coords
+        keys = list(map(tuple, inc_xy.tolist()))
+        keep_incoming = np.zeros(n_inc, dtype=bool)
+        within: set = set()
+        for i, key in enumerate(keys):
+            if key not in coords and key not in within:
+                keep_incoming[i] = True
+                within.add(key)
+
+        # Which incoming rows does the (pre-merge) current set dominate?
+        keep_incoming &= ~_dominated_by(self._norm, inc_norm, self._block)
+        if not keep_incoming.any():
+            return
+
+        # Which current rows do the surviving incoming rows dominate?
+        kept_norm = inc_norm[keep_incoming]
+        cur_dominated = _dominated_by(kept_norm, self._norm, self._block)
+        if cur_dominated.any():
+            keep = ~cur_dominated
+            coords.difference_update(
+                map(tuple, self._xy[cur_dominated].tolist())
+            )
+            self._xy = self._xy[keep]
+            self._values = self._values[keep]
+            self._site_ids = self._site_ids[keep]
+            self._norm = self._norm[keep]
+
+        self._xy = np.vstack([self._xy, inc_xy[keep_incoming]])
+        self._values = np.vstack(
+            [self._values, incoming.values[keep_incoming]]
+        )
+        self._site_ids = np.concatenate(
+            [self._site_ids, incoming.site_ids[keep_incoming]]
+        )
+        self._norm = np.vstack([self._norm, kept_norm])
+        coords.update(
+            key for i, key in enumerate(keys) if keep_incoming[i]
+        )
+
+    def _materialize(self) -> Relation:
+        if self._xy.shape[0] == 0:
+            return Relation.empty(self._schema)
+        return Relation._wrap(
+            self._schema, self._xy, self._values, self._site_ids
+        )
+
+    # -- public API ----------------------------------------------------------
+
     def add(self, incoming: Relation) -> None:
         """Merge one incoming partial skyline."""
-        self._current = merge_skylines(self._current, incoming)
+        if not self._incremental:
+            self._current = merge_skylines(self._current, incoming, block=None)
+            self._merges += 1
+            return
+        if incoming.schema != self._schema:
+            raise ValueError("cannot merge skylines over different schemas")
         self._merges += 1
+        if incoming.cardinality == 0:
+            return
+        self._result_cache = None
+        self._add_incremental(incoming)
 
     def add_all(self, results: Iterable[Relation]) -> None:
         """Merge a batch of partial skylines."""
@@ -132,4 +294,8 @@ class SkylineAssembler:
 
     def result(self) -> Relation:
         """The current merged skyline ``SK_org``."""
-        return self._current
+        if not self._incremental:
+            return self._current
+        if self._result_cache is None:
+            self._result_cache = self._materialize()
+        return self._result_cache

@@ -429,9 +429,11 @@ def local_skyline_vectorized(
 
     # All dominance work happens in minimization space so MAX attributes
     # are handled uniformly (the paper assumes all-MIN; this generalizes).
+    # The normalized view and both bounds are cached on the (immutable)
+    # relation, so repeated queries against one relation pay them once.
     norm = relation.normalized_values()
-    lows = norm.min(axis=0)
-    local_worst = tuple(float(h) for h in norm.max(axis=0))
+    lows = np.asarray(relation.normalized_best(), dtype=np.float64)
+    local_worst = relation.normalized_worst()
     flt_norm = (
         np.asarray(normalize_values(flt.values, schema), dtype=np.float64)
         if flt is not None

@@ -229,15 +229,28 @@ def skyline_numpy(values: np.ndarray, block: int = 256) -> np.ndarray:
         raise ValueError("block must be >= 1")
     order = sfs_sort_order(values)
     sky_idx: List[np.ndarray] = []
-    sky_vals = np.empty((0, values.shape[1]), dtype=np.float64)
+    # The confirmed skyline is kept as a *list* of per-block arrays and
+    # compared block-by-block: re-vstacking the whole window every block
+    # made the loop O(S²) in the skyline size S.
+    sky_blocks: List[np.ndarray] = []
     for start in range(0, n, block):
         chunk_idx = order[start : start + block]
         chunk = values[chunk_idx]
-        if sky_vals.shape[0]:
-            # (S, 1, d) vs (1, C, d): does any skyline row dominate each chunk row?
-            no_worse = (sky_vals[:, None, :] <= chunk[None, :, :]).all(axis=2)
-            better = (sky_vals[:, None, :] < chunk[None, :, :]).any(axis=2)
-            dominated = (no_worse & better).any(axis=0)
+        if sky_blocks:
+            dominated = np.zeros(chunk.shape[0], dtype=bool)
+            dims = chunk.shape[1]
+            for blk in sky_blocks:
+                # Does any confirmed skyline row in this block dominate
+                # each chunk row? Compared attribute-at-a-time with 2-D
+                # broadcasts — the equivalent (S_b, C, d) broadcast
+                # forces numpy onto a strided inner loop that is an
+                # order of magnitude slower here.
+                no_worse = blk[:, 0:1] <= chunk[:, 0]
+                better = blk[:, 0:1] < chunk[:, 0]
+                for a in range(1, dims):
+                    no_worse &= blk[:, a : a + 1] <= chunk[:, a]
+                    better |= blk[:, a : a + 1] < chunk[:, a]
+                dominated |= (no_worse & better).any(axis=0)
             chunk_idx = chunk_idx[~dominated]
             chunk = chunk[~dominated]
         if chunk.shape[0] == 0:
@@ -248,7 +261,7 @@ def skyline_numpy(values: np.ndarray, block: int = 256) -> np.ndarray:
         chunk_idx = chunk_idx[local]
         chunk = chunk[local]
         sky_idx.append(chunk_idx)
-        sky_vals = np.vstack([sky_vals, chunk])
+        sky_blocks.append(chunk)
     if not sky_idx:
         return np.empty(0, dtype=np.int64)
     return np.sort(np.concatenate(sky_idx)).astype(np.int64)

@@ -1,6 +1,7 @@
 """Experiment harness: one module per figure family of Section 5."""
 
 from .config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
+from .executor import RunCache, configure, resolve_workers, run_points
 from .fault_sweep import fault_churn_sweep, fault_loss_sweep, run_fault_point
 from .local_processing import figure_5a, figure_5b, measure_local_time
 from .manet_common import ManetPoint, clear_run_cache, run_manet_point
@@ -43,10 +44,12 @@ __all__ = [
     "FigureResult",
     "ManetPoint",
     "PAPER",
+    "RunCache",
     "SMOKE",
     "Series",
     "ascii_plot",
     "clear_run_cache",
+    "configure",
     "cpu_sweep",
     "fault_churn_sweep",
     "fault_loss_sweep",
@@ -78,8 +81,10 @@ __all__ = [
     "measure_local_time",
     "radio_range_sweep",
     "render_table",
+    "resolve_workers",
     "run_fault_point",
     "run_manet_point",
+    "run_points",
     "speed_sweep",
     "static_drr_series",
     "static_panel",

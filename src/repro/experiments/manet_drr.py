@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .config import DEFAULT, ExperimentScale
-from .manet_common import ManetPoint, run_manet_point, sweep_points
+from .executor import run_points
+from .manet_common import ManetPoint, sweep_points
 from .runner import FigureResult
 
 __all__ = ["manet_panel", "figure_8a", "figure_8b", "figure_8c",
@@ -51,23 +52,29 @@ def manet_panel(
             f"scale={scale.name}; UNE + dynamic filter; random waypoint + AODV"
         ),
     )
+    grid = {
+        (strategy, distance, i): ManetPoint(
+            strategy=strategy,
+            distance=distance,
+            cardinality=cardinality,
+            dimensions=dims,
+            devices=devices,
+            distribution=distribution,
+            scale_name=scale.name,
+            seed=scale.seed + 1000 * i,
+        )
+        for strategy in ("df", "bf")
+        for distance in scale.query_distances
+        for i, (cardinality, dims, devices) in enumerate(points)
+    }
+    # One fan-out over the whole panel grid; the per-series loops below
+    # are then pure cache lookups.
+    metrics_by_point = run_points(grid.values(), scale)
     for strategy in ("df", "bf"):
         for distance in scale.query_distances:
             values: List[Optional[float]] = []
-            for i, (cardinality, dims, devices) in enumerate(points):
-                metrics = run_manet_point(
-                    ManetPoint(
-                        strategy=strategy,
-                        distance=distance,
-                        cardinality=cardinality,
-                        dimensions=dims,
-                        devices=devices,
-                        distribution=distribution,
-                        scale_name=scale.name,
-                        seed=scale.seed + 1000 * i,
-                    ),
-                    scale,
-                )
+            for i in range(len(points)):
+                metrics = metrics_by_point[grid[strategy, distance, i]]
                 if metric == "drr":
                     values.append(metrics.drr)
                 elif metric == "response":

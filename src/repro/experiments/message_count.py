@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .config import DEFAULT, ExperimentScale
-from .manet_common import ManetPoint, run_manet_point, sweep_points
+from .executor import run_points
+from .manet_common import ManetPoint, sweep_points
 from .runner import FigureResult
 
 __all__ = ["figure_12"]
@@ -35,22 +36,25 @@ def figure_12(
             f"d={int(distance)}; AODV control frames excluded"
         ),
     )
+    grid = {
+        (strategy, i): ManetPoint(
+            strategy=strategy,
+            distance=distance,
+            cardinality=cardinality,
+            dimensions=dims,
+            devices=devices,
+            distribution=distribution,
+            scale_name=scale.name,
+            seed=scale.seed + 1000 * i,
+        )
+        for strategy in ("bf", "df")
+        for i, (cardinality, dims, devices) in enumerate(points)
+    }
+    metrics_by_point = run_points(grid.values(), scale)
     for strategy in ("bf", "df"):
         values: List[Optional[float]] = []
-        for i, (cardinality, dims, devices) in enumerate(points):
-            metrics = run_manet_point(
-                ManetPoint(
-                    strategy=strategy,
-                    distance=distance,
-                    cardinality=cardinality,
-                    dimensions=dims,
-                    devices=devices,
-                    distribution=distribution,
-                    scale_name=scale.name,
-                    seed=scale.seed + 1000 * i,
-                ),
-                scale,
-            )
+        for i in range(len(points)):
+            metrics = metrics_by_point[grid[strategy, i]]
             values.append(metrics.messages.protocol_per_query)
         result.add_series(strategy.upper(), values)
     return result

@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from ..core.assembly import SkylineAssembler, merge_skylines
+from ..core.assembly import DEFAULT_MERGE_BLOCK, SkylineAssembler, merge_skylines
 from ..core.filtering import Estimation, FilteringTuple, select_filter
 from ..core.local import LocalSkylineResult, local_skyline, local_skyline_vectorized
 from ..core.query import QueryCounter, QueryLog, SkylineQuery
@@ -92,6 +92,14 @@ class ProtocolConfig:
             up and leaves closure to ``query_timeout``.
         backtrack_slack: Extra hops a DF backtrack chain may skip past
             vanished parents beyond the current path length.
+        assembler: ``incremental`` (default) merges partial skylines via
+            the running-array assembler and chunked dominance passes;
+            ``legacy`` rebuilds a relation per contribution with one
+            unbounded broadcast — the reference path. Results are
+            bit-identical; the switch exists for differential tests and
+            benchmarks.
+        merge_block: Chunk edge for the incremental dominance passes
+            (bounds peak merge memory at ``merge_block² · n`` booleans).
     """
 
     use_filter: bool = True
@@ -109,10 +117,16 @@ class ProtocolConfig:
     token_watchdog: float = 60.0
     token_reissues: int = 2
     backtrack_slack: int = 4
+    assembler: str = "incremental"
+    merge_block: int = DEFAULT_MERGE_BLOCK
 
     def __post_init__(self) -> None:
         if self.processor not in ("vectorized", "hybrid", "flat"):
             raise ValueError(f"unknown processor {self.processor!r}")
+        if self.assembler not in ("incremental", "legacy"):
+            raise ValueError(f"unknown assembler {self.assembler!r}")
+        if self.merge_block < 1:
+            raise ValueError("merge_block must be >= 1")
         if self.query_timeout <= 0:
             raise ValueError("query_timeout must be > 0")
         if not 0 < self.completion_quorum <= 1:
@@ -303,6 +317,20 @@ class SkylineDevice(Node):
         self.meter.on_compute(self.processing_delay(result))
         return result
 
+    def _make_assembler(self, initial: Optional[Relation]) -> SkylineAssembler:
+        """Build this device's result assembler per ``config.assembler``."""
+        return SkylineAssembler(
+            self.relation.schema,
+            initial,
+            incremental=self.config.assembler == "incremental",
+            block=self.config.merge_block,
+        )
+
+    def _merge_partials(self, current: Relation, incoming: Relation) -> Relation:
+        """Merge two partial skylines per ``config.assembler``."""
+        block = None if self.config.assembler == "legacy" else self.config.merge_block
+        return merge_skylines(current, incoming, block=block)
+
     def processing_delay(self, result: LocalSkylineResult) -> float:
         """Simulated device time the run took (0 if not modelled)."""
         if not self.config.model_processing_delay:
@@ -371,7 +399,7 @@ class SkylineDevice(Node):
             originator=self.node_id,
             local_unreduced=local.unreduced_size,
             local_reduced=local.reduced_size,
-            assembler=SkylineAssembler(self.relation.schema, local.skyline),
+            assembler=self._make_assembler(local.skyline),
             reachable_at_issue=frozenset(
                 self.world.reachable_from(self.node_id)
             ),
@@ -717,7 +745,7 @@ class DFDevice(SkylineDevice):
         if self.query_log.check_and_record(token.query):
             flt = token.flt if self.config.use_filter else None
             result = self.compute_local(token.query, flt)
-            merged = merge_skylines(token.result, result.skyline)
+            merged = self._merge_partials(token.result, result.skyline)
             out_flt = token.flt
             if self.config.use_filter and self.config.dynamic_filter:
                 out_flt = result.updated_filter

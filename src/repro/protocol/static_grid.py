@@ -137,6 +137,7 @@ def run_static_query(
     use_filter: bool = True,
     cache: Optional[StaticGridCache] = None,
     assemble: bool = True,
+    assembler: str = "incremental",
 ) -> StaticQueryOutcome:
     """One query, forwarded recursively outward from ``originator``.
 
@@ -156,6 +157,9 @@ def run_static_query(
             The DRR experiments only need the per-device size pairs, and
             assembly dominates their runtime on anti-correlated data —
             pass False there; ``outcome.result`` is then empty.
+        assembler: ``incremental`` (default) or ``legacy`` result
+            assembly — bit-identical outputs, see
+            :class:`~repro.core.assembly.SkylineAssembler`.
     """
     if not 0 <= originator < dataset.devices:
         raise ValueError(
@@ -185,8 +189,13 @@ def run_static_query(
             org_skyline, estimation, over_margin, local_highs=local_highs
         )
 
-    assembler = (
-        SkylineAssembler(dataset.schema, org_skyline) if assemble else None
+    asm = (
+        SkylineAssembler(
+            dataset.schema, org_skyline,
+            incremental=assembler == "incremental",
+        )
+        if assemble
+        else None
     )
     contributions: List[StaticContribution] = []
 
@@ -232,8 +241,8 @@ def run_static_query(
                     reduced_size=reduced_size,
                 )
             )
-            if assembler is not None:
-                assembler.add(sky)
+            if asm is not None:
+                asm.add(sky)
             queue.append((neighbor, out_flt))
 
     return StaticQueryOutcome(
@@ -241,7 +250,7 @@ def run_static_query(
         local_unreduced=org_unreduced,
         contributions=contributions,
         result=(
-            assembler.result() if assembler is not None
+            asm.result() if asm is not None
             else Relation.empty(dataset.schema)
         ),
     )
@@ -256,6 +265,7 @@ def run_static_grid(
     originators: Optional[List[int]] = None,
     cache: Optional[StaticGridCache] = None,
     assemble: bool = True,
+    assembler: str = "incremental",
 ) -> List[StaticQueryOutcome]:
     """Run the pre-test with every device as originator once (default).
 
@@ -276,6 +286,7 @@ def run_static_grid(
             use_filter=use_filter,
             cache=cache,
             assemble=assemble,
+            assembler=assembler,
         )
         for org in originators
     ]

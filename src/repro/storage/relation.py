@@ -6,6 +6,12 @@ spatial coordinates and non-spatial attributes in dense arrays so the
 skyline engines can operate vectorised, while still exposing row-level
 :class:`~repro.storage.schema.SiteTuple` views for the tuple-at-a-time
 algorithms that model device-side processing.
+
+Relations are immutable (the backing arrays are marked read-only), so
+every derived view — normalized values, bounds, the MBR — is computed at
+most once per instance and never invalidated. Callers may hold the
+returned arrays indefinitely; they are read-only, so they can be shared
+freely between relations (see :meth:`Relation.take`).
 """
 
 from __future__ import annotations
@@ -62,8 +68,39 @@ class Relation:
         self._site_ids = site_ids
         for arr in (self._xy, self._values, self._site_ids):
             arr.setflags(write=False)
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        self._norm: Optional[np.ndarray] = None
+        self._mbr: Optional[Tuple[float, float, float, float]] = None
+        self._local_bounds: Optional[
+            Tuple[Tuple[float, ...], Tuple[float, ...]]
+        ] = None
+        self._normalized_worst: Optional[Tuple[float, ...]] = None
+        self._normalized_best: Optional[Tuple[float, ...]] = None
 
     # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def _wrap(
+        cls,
+        schema: RelationSchema,
+        xy: np.ndarray,
+        values: np.ndarray,
+        site_ids: np.ndarray,
+    ) -> "Relation":
+        """Fast internal constructor for already-validated float64/int64
+        arrays (derived views, unions). Skips shape validation and marks
+        the arrays read-only so they can be shared between relations."""
+        rel = object.__new__(cls)
+        rel._schema = schema
+        rel._xy = xy
+        rel._values = values
+        rel._site_ids = site_ids
+        for arr in (xy, values, site_ids):
+            arr.setflags(write=False)
+        rel._init_caches()
+        return rel
 
     @classmethod
     def from_rows(
@@ -157,19 +194,52 @@ class Relation:
     # -- derived views -------------------------------------------------------
 
     def normalized_values(self) -> np.ndarray:
-        """Values mapped into minimization space (MAX attrs negated)."""
-        if self._schema.all_min:
-            return self._values
-        out = self._values.copy()
-        for j, pref in enumerate(self._schema.preferences):
-            if pref is Preference.MAX:
-                out[:, j] = -out[:, j]
-        return out
+        """Values mapped into minimization space (MAX attrs negated).
+
+        The result is computed once (a single vectorised sign-mask
+        multiply), cached, and returned as a **read-only** array — for an
+        all-MIN schema it is the value array itself. Callers must not
+        (and cannot) mutate it in place.
+        """
+        if self._norm is None:
+            if self._schema.all_min:
+                self._norm = self._values
+            else:
+                signs = np.fromiter(
+                    (
+                        -1.0 if pref is Preference.MAX else 1.0
+                        for pref in self._schema.preferences
+                    ),
+                    dtype=np.float64,
+                    count=self._schema.dimensions,
+                )
+                out = self._values * signs
+                out.setflags(write=False)
+                self._norm = out
+        return self._norm
 
     def take(self, indices: Sequence[int]) -> "Relation":
-        """Sub-relation containing only the given row indices."""
+        """Sub-relation containing only the given row indices.
+
+        An identity take (``indices == arange(N)``) shares the backing
+        arrays — and the derived-view caches — with ``self`` instead of
+        copying; relations are immutable, so sharing is safe.
+        """
         idx = np.asarray(indices, dtype=np.int64)
-        return Relation(
+        n = self.cardinality
+        if idx.shape[0] == n and n and np.array_equal(
+            idx, np.arange(n, dtype=np.int64)
+        ):
+            rel = Relation._wrap(
+                self._schema, self._xy, self._values, self._site_ids
+            )
+            rel._norm = self._norm
+            rel._mbr = self._mbr
+            rel._local_bounds = self._local_bounds
+            rel._normalized_worst = self._normalized_worst
+            rel._normalized_best = self._normalized_best
+            return rel
+        return Relation._wrap(
             self._schema, self._xy[idx], self._values[idx], self._site_ids[idx]
         )
 
@@ -186,7 +256,9 @@ class Relation:
     def restrict(self, pos: Tuple[float, float], d: float) -> "Relation":
         """Sub-relation of sites within distance ``d`` of ``pos``."""
         mask = self.within(pos, d)
-        return Relation(
+        if mask.all():
+            return self.take(np.arange(self.cardinality, dtype=np.int64))
+        return Relation._wrap(
             self._schema,
             self._xy[mask],
             self._values[mask],
@@ -197,16 +269,31 @@ class Relation:
         """Minimum bounding rectangle ``(x_min, y_min, x_max, y_max)``.
 
         The hybrid storage scheme keeps these four constants per relation
-        for fast spatial range checks (Section 4.1).
+        for fast spatial range checks (Section 4.1). Computed once per
+        relation and cached.
         """
         if self.cardinality == 0:
             raise ValueError("MBR of an empty relation is undefined")
-        return (
-            float(self._xy[:, 0].min()),
-            float(self._xy[:, 1].min()),
-            float(self._xy[:, 0].max()),
-            float(self._xy[:, 1].max()),
-        )
+        if self._mbr is None:
+            self._mbr = (
+                float(self._xy[:, 0].min()),
+                float(self._xy[:, 1].min()),
+                float(self._xy[:, 0].max()),
+                float(self._xy[:, 1].max()),
+            )
+        return self._mbr
+
+    def normalized_best(self) -> Tuple[float, ...]:
+        """Per-attribute best value present, in minimization space —
+        the column minima of :meth:`normalized_values`. Computed once
+        per relation and cached."""
+        if self.cardinality == 0:
+            raise ValueError("bounds of an empty relation are undefined")
+        if self._normalized_best is None:
+            self._normalized_best = tuple(
+                float(v) for v in self.normalized_values().min(axis=0)
+            )
+        return self._normalized_best
 
     def normalized_worst(self) -> Tuple[float, ...]:
         """Per-attribute worst value present, in minimization space.
@@ -214,26 +301,34 @@ class Relation:
         For an all-MIN schema this equals ``local_bounds()[1]`` — the
         local maxima ``h_k`` the under-estimated dominating region uses
         (Section 3.3). MAX attributes contribute their negated minimum.
+        Computed once per relation and cached.
         """
         if self.cardinality == 0:
             raise ValueError("bounds of an empty relation are undefined")
-        return tuple(float(v) for v in self.normalized_values().max(axis=0))
+        if self._normalized_worst is None:
+            self._normalized_worst = tuple(
+                float(v) for v in self.normalized_values().max(axis=0)
+            )
+        return self._normalized_worst
 
     def local_bounds(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
         """Per-attribute local ``(lows, highs)`` — the ``l_j`` / ``h_j``
-        of Section 4.2, fetched in O(1) from sorted domain storage."""
+        of Section 4.2, fetched in O(1) from sorted domain storage.
+        Computed once per relation and cached."""
         if self.cardinality == 0:
             raise ValueError("bounds of an empty relation are undefined")
-        return (
-            tuple(float(v) for v in self._values.min(axis=0)),
-            tuple(float(v) for v in self._values.max(axis=0)),
-        )
+        if self._local_bounds is None:
+            self._local_bounds = (
+                tuple(float(v) for v in self._values.min(axis=0)),
+                tuple(float(v) for v in self._values.max(axis=0)),
+            )
+        return self._local_bounds
 
     def union(self, other: "Relation") -> "Relation":
         """Bag union of two relations over the same schema."""
         if other.schema is not self._schema and other.schema != self._schema:
             raise ValueError("cannot union relations with different schemas")
-        return Relation(
+        return Relation._wrap(
             self._schema,
             np.vstack([self._xy, other.xy]),
             np.vstack([self._values, other.values]),
@@ -255,7 +350,7 @@ def union_all(relations: Sequence[Relation]) -> Relation:
     for rel in relations[1:]:
         if rel.schema != schema:
             raise ValueError("cannot union relations with different schemas")
-    return Relation(
+    return Relation._wrap(
         schema,
         np.vstack([r.xy for r in relations]),
         np.vstack([r.values for r in relations]),

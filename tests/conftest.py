@@ -9,6 +9,28 @@ from repro.data import make_global_dataset
 from repro.storage import Relation, uniform_schema
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _session_run_cache_dir(tmp_path_factory):
+    """Point the persistent run cache at a session tmp dir so test runs
+    never write ``.repro_cache`` into the working tree."""
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("run-cache")))
+    yield
+    mp.undo()
+
+
+@pytest.fixture(autouse=True)
+def _reset_executor_overrides():
+    """``repro.experiments.configure()`` state must not leak across tests."""
+    from repro.experiments import executor
+
+    yield
+    executor._workers_override = None
+    executor._cache_override = None
+    executor._cache_instance = None
+    executor._cache_instance_root = None
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG for one test."""
