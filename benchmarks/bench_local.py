@@ -1,0 +1,337 @@
+#!/usr/bin/env python
+"""Microbenchmark for the local-processing fast path.
+
+Measures the tiled numpy kernels of ``repro.core.local`` against the
+row-at-a-time reference loops they shadow, per storage model:
+
+* ``hybrid_sfs`` — ID-space SFS over :class:`HybridStorage`'s sorted
+  integer ID matrix (the paper's optimized path);
+* ``flat_bnl`` — raw-value BNL with eviction over
+  :class:`FlatStorage`;
+* ``pointer_bnl`` — the accessor path over :class:`DomainStorage`
+  (bulk ``read_all_values`` with analytic access charges vs the
+  per-cell ``get_value`` loop);
+
+plus end-to-end Figure 5 sweeps (``figure_5a`` / ``figure_5b`` at
+smoke scale) timed under each path. Both paths produce bit-identical
+skylines and identical operation counters — every micro asserts that
+before timing. Emits ``BENCH_local.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_local.py            # full run
+    PYTHONPATH=src python benchmarks/bench_local.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_local.py --check BENCH_local.json
+    PYTHONPATH=src python benchmarks/bench_local.py \
+        --check new.json --baseline BENCH_local.json
+
+``--check`` validates an output file against the schema and exits
+non-zero on any violation. With ``--baseline``, it additionally fails
+when the new fast-path figure wall times regress more than 2x against
+the baseline file (the CI job's perf gate: the figure stage is
+identical in smoke and full runs, so a committed full-run baseline is
+comparable with a CI smoke run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+SCHEMA_VERSION = "bench_local/v1"
+SIZES = (1000, 5000)
+MICRO_OPS = ("hybrid_sfs", "flat_bnl", "pointer_bnl")
+MICRO_FIELDS = ("fast_ops_per_s", "reference_ops_per_s", "speedup")
+FIGURES = ("fig5a", "fig5b")
+#: Wall-time regression tolerance for --check --baseline.
+REGRESSION_FACTOR = 2.0
+
+
+# -- fixtures ----------------------------------------------------------------
+
+
+def _fixture(n: int, seed: int):
+    """Anti-correlated device relation + an unbounded central query.
+
+    Anti-correlated data maximizes the skyline window — the regime the
+    kernels were built for — and the Section 5.1 quantized domain keeps
+    hybrid ID matrices realistic (100 distinct values per attribute).
+    """
+    from repro.core.query import SkylineQuery
+    from repro.experiments.local_processing import device_dataset
+
+    rel = device_dataset(n, 4, "anticorrelated", seed=seed)
+    query = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=1.0e12)
+    return rel, query
+
+
+def _assert_parity(storage_factory, rel, query) -> None:
+    """Fast and reference paths must agree bit-for-bit before timing."""
+    import numpy as np
+
+    from repro.core.local import local_skyline
+
+    results = {}
+    for path in ("fast", "reference"):
+        storage = storage_factory(rel)
+        res = local_skyline(storage, query, path=path)
+        results[path] = (res, storage.stats)
+    fast, fast_stats = results["fast"]
+    ref, ref_stats = results["reference"]
+    same = (
+        np.array_equal(fast.skyline.xy, ref.skyline.xy)
+        and np.array_equal(fast.skyline.values, ref.skyline.values)
+        and fast.unreduced_size == ref.unreduced_size
+        and fast.skipped == ref.skipped
+        and fast.comparisons.as_tuple() == ref.comparisons.as_tuple()
+        and (fast_stats.value_reads, fast_stats.id_reads, fast_stats.indirections)
+        == (ref_stats.value_reads, ref_stats.id_reads, ref_stats.indirections)
+    )
+    if not same:  # pragma: no cover - self-check
+        raise AssertionError(
+            f"fast/reference parity failure for {storage_factory.__name__}"
+        )
+
+
+# -- micro measurements ------------------------------------------------------
+
+
+def _throughput(fn, min_ops: int) -> float:
+    """ops/s of ``fn() -> ops`` repeated until >= min_ops total ops."""
+    fn()  # warmup: fills caches / touches memory once outside the clock
+    ops = 0
+    start = time.perf_counter()
+    while ops < min_ops:
+        ops += fn()
+    return ops / (time.perf_counter() - start)
+
+
+def _bench_storage(storage_factory, n: int, seed: int, smoke: bool):
+    from repro.core.local import local_skyline
+
+    rel, query = _fixture(n, seed)
+    _assert_parity(storage_factory, rel, query)
+    storage = storage_factory(rel)
+
+    def run(path: str):
+        local_skyline(storage, query, path=path)
+        return 1
+
+    fast_min, ref_min = (3, 1) if smoke else (20, 3)
+    fast_ops = _throughput(lambda: run("fast"), fast_min)
+    ref_ops = _throughput(lambda: run("reference"), ref_min)
+    return {
+        "fast_ops_per_s": fast_ops,
+        "reference_ops_per_s": ref_ops,
+        "speedup": fast_ops / ref_ops,
+    }
+
+
+def bench_hybrid_sfs(n: int, smoke: bool) -> Dict[str, float]:
+    from repro.storage.hybrid import HybridStorage
+
+    return _bench_storage(HybridStorage, n, seed=21, smoke=smoke)
+
+
+def bench_flat_bnl(n: int, smoke: bool) -> Dict[str, float]:
+    from repro.storage.flat import FlatStorage
+
+    return _bench_storage(FlatStorage, n, seed=22, smoke=smoke)
+
+
+def bench_pointer_bnl(n: int, smoke: bool) -> Dict[str, float]:
+    from repro.storage.domain_store import DomainStorage
+
+    return _bench_storage(DomainStorage, n, seed=23, smoke=smoke)
+
+
+# -- end-to-end measurements -------------------------------------------------
+
+
+def bench_figures() -> Dict[str, Dict[str, float]]:
+    """Figure 5 sweeps (smoke scale) timed under each path.
+
+    Deliberately identical in smoke and full runs so a committed
+    full-run baseline stays comparable with a CI smoke run (see
+    ``--baseline``). The modelled PDA seconds are path-independent
+    (identical counters); only wall time differs.
+    """
+    from repro.experiments.config import SMOKE
+    from repro.experiments.local_processing import figure_5a, figure_5b
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name, fn in (("fig5a", figure_5a), ("fig5b", figure_5b)):
+        fn(SMOKE, path="fast")  # warmup
+        entry: Dict[str, float] = {}
+        results = {}
+        for path in ("fast", "reference"):
+            start = time.perf_counter()
+            results[path] = fn(SMOKE, path=path)
+            entry[f"wall_s_{path}"] = time.perf_counter() - start
+        if results["fast"].series != results["reference"].series:
+            raise AssertionError(  # pragma: no cover - self-check
+                f"{name}: fast/reference modelled series differ"
+            )
+        entry["wall_speedup"] = entry["wall_s_reference"] / entry["wall_s_fast"]
+        out[name] = entry
+    return out
+
+
+# -- schema ------------------------------------------------------------------
+
+
+def validate(doc: dict) -> List[str]:
+    """Schema check; returns a list of violations (empty == valid)."""
+    errors: List[str] = []
+
+    def num(x) -> bool:
+        return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(f"schema must be {SCHEMA_VERSION!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("smoke must be a bool")
+    if doc.get("sizes") != list(SIZES):
+        errors.append(f"sizes must be {list(SIZES)}")
+    micro = doc.get("micro")
+    if not isinstance(micro, dict):
+        errors.append("micro must be an object")
+        micro = {}
+    for op in MICRO_OPS:
+        per_op = micro.get(op)
+        if not isinstance(per_op, dict):
+            errors.append(f"micro.{op} missing")
+            continue
+        for n in SIZES:
+            point = per_op.get(str(n))
+            if not isinstance(point, dict):
+                errors.append(f"micro.{op}.{n} missing")
+                continue
+            for field in MICRO_FIELDS:
+                if not num(point.get(field)) or point.get(field) <= 0:
+                    errors.append(f"micro.{op}.{n}.{field} must be > 0")
+    figures = doc.get("figures")
+    if not isinstance(figures, dict):
+        errors.append("figures must be an object")
+        figures = {}
+    for name in FIGURES:
+        entry = figures.get(name)
+        if not isinstance(entry, dict):
+            errors.append(f"figures.{name} missing")
+            continue
+        for field in ("wall_s_fast", "wall_s_reference", "wall_speedup"):
+            if not num(entry.get(field)) or entry.get(field) <= 0:
+                errors.append(f"figures.{name}.{field} must be > 0")
+    return errors
+
+
+def compare_baseline(doc: dict, baseline: dict) -> List[str]:
+    """Perf-gate comparison on the shared figure stage."""
+    errors: List[str] = []
+    for name in FIGURES:
+        try:
+            new = doc["figures"][name]["wall_s_fast"]
+            old = baseline["figures"][name]["wall_s_fast"]
+        except (KeyError, TypeError):
+            errors.append(f"figures.{name} missing on one side")
+            continue
+        if new > REGRESSION_FACTOR * old:
+            errors.append(
+                f"figures.{name}: {new:.2f}s vs baseline {old:.2f}s "
+                f"(> {REGRESSION_FACTOR:.0f}x regression)"
+            )
+    return errors
+
+
+# -- entry point -------------------------------------------------------------
+
+
+_MICRO_FNS = {
+    "hybrid_sfs": bench_hybrid_sfs,
+    "flat_bnl": bench_flat_bnl,
+    "pointer_bnl": bench_pointer_bnl,
+}
+
+
+def run(smoke: bool) -> dict:
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "smoke": smoke,
+        "sizes": list(SIZES),
+        "micro": {op: {} for op in MICRO_OPS},
+        "figures": {},
+    }
+    for n in SIZES:
+        print(f"micro n={n} ...", file=sys.stderr)
+        for op in MICRO_OPS:
+            doc["micro"][op][str(n)] = _MICRO_FNS[op](n, smoke)
+    print("figure sweeps fast/reference ...", file=sys.stderr)
+    doc["figures"] = bench_figures()
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast CI variant (same schema)")
+    parser.add_argument("--out", default="BENCH_local.json",
+                        help="output path (default: BENCH_local.json)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing output file and exit")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help=("with --check: fail if fast-path figure wall "
+                              f"times regress > {REGRESSION_FACTOR:.0f}x vs "
+                              "this file"))
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as fh:
+            doc = json.load(fh)
+        errors = validate(doc)
+        if args.baseline:
+            with open(args.baseline) as fh:
+                base = json.load(fh)
+            errors += [f"schema violation in baseline: {e}"
+                       for e in validate(base)]
+            if not errors:
+                errors += compare_baseline(doc, base)
+        if errors:
+            for err in errors:
+                print(f"check failure: {err}", file=sys.stderr)
+            return 1
+        sfs = doc["micro"]["hybrid_sfs"][str(SIZES[-1])]["speedup"]
+        print(f"{args.check}: valid ({SCHEMA_VERSION}); hybrid SFS speedup "
+              f"at n={SIZES[-1]}: {sfs:.1f}x"
+              + ("; baseline wall times within tolerance"
+                 if args.baseline else ""))
+        return 0
+
+    doc = run(smoke=args.smoke)
+    errors = validate(doc)
+    if errors:  # pragma: no cover - self-check
+        for err in errors:
+            print(f"internal schema violation: {err}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for op in MICRO_OPS:
+        speedups = ", ".join(
+            f"n={n}: {doc['micro'][op][str(n)]['speedup']:.1f}x"
+            for n in SIZES
+        )
+        print(f"{op:>12}: {speedups}")
+    for name in FIGURES:
+        entry = doc["figures"][name]
+        print(f"{name:>12}: wall {entry['wall_s_fast']:.2f}s fast vs "
+              f"{entry['wall_s_reference']:.2f}s reference "
+              f"({entry['wall_speedup']:.2f}x)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ import time
 from typing import Callable, Dict, List
 
 from . import experiments as ex
+from .core.local import LOCAL_PATHS, configure_local_path
 
 __all__ = ["main"]
 
@@ -114,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
             "or .repro_cache; 'off' disables disk caching)"
         ),
     )
+    parser.add_argument(
+        "--local-path",
+        choices=LOCAL_PATHS,
+        help=(
+            "local skyline processing path: 'fast' tiled numpy kernels "
+            "or 'reference' row-at-a-time loops (default: fast; results "
+            "and operation counts are identical, only wall time differs)"
+        ),
+    )
     return parser
 
 
@@ -124,6 +134,7 @@ def main(argv=None) -> int:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     ex.configure(workers=args.workers, cache_dir=args.cache_dir)
+    configure_local_path(args.local_path)
     scale = ex.get_scale(args.scale)
     results = []
     for fn in _FIGURES[args.figure]:

@@ -15,13 +15,21 @@ from .filtering import (
     FilteringTuple,
     estimation_bounds,
     normalize_values,
+    promote_filter,
     select_filter,
     select_filter_set,
     union_dominating_volume,
     vdr,
     vdr_matrix,
 )
-from .local import LocalSkylineResult, local_skyline, local_skyline_vectorized
+from .local import (
+    LOCAL_PATHS,
+    LocalSkylineResult,
+    configure_local_path,
+    local_skyline,
+    local_skyline_vectorized,
+    resolve_local_path,
+)
 from .multifilter import (
     MultiFilterResult,
     local_skyline_multifilter,
@@ -42,6 +50,7 @@ __all__ = [
     "ComparisonCounter",
     "Estimation",
     "FilteringTuple",
+    "LOCAL_PATHS",
     "LocalSkylineResult",
     "MultiFilterResult",
     "QueryCounter",
@@ -49,6 +58,7 @@ __all__ = [
     "SkylineAssembler",
     "SkylineQuery",
     "any_dominator",
+    "configure_local_path",
     "dominance_mask",
     "dominates",
     "dominates_or_equal",
@@ -60,7 +70,9 @@ __all__ = [
     "local_skyline_vectorized",
     "merge_skylines",
     "normalize_values",
+    "promote_filter",
     "prune_with_filters",
+    "resolve_local_path",
     "select_filter",
     "select_filter_set",
     "skyline_bnl",

@@ -38,6 +38,7 @@ __all__ = [
     "vdr_matrix",
     "estimation_bounds",
     "normalize_values",
+    "promote_filter",
     "select_filter",
     "select_filter_set",
     "union_dominating_volume",
@@ -190,6 +191,29 @@ def select_filter(
     scores = vdr_matrix(skyline.normalized_values(), bounds)
     best = int(np.argmax(scores))
     return FilteringTuple(site=skyline.row(best), vdr=float(scores[best]))
+
+
+def promote_filter(
+    skyline: Relation,
+    incoming: Optional[FilteringTuple],
+    bounds: Sequence[float],
+) -> Optional[FilteringTuple]:
+    """Dynamic filter promotion over precomputed bounds (Section 3.4).
+
+    Scores every skyline row with :func:`vdr_matrix` (raw values — the
+    faithful storage paths assume all-MIN schemas, where raw and
+    normalized values coincide) and replaces ``incoming`` when the best
+    local candidate has a strictly larger VDR under the same bounds.
+    An empty skyline keeps the incoming filter unchanged.
+    """
+    if skyline.cardinality == 0:
+        return incoming
+    scores = vdr_matrix(skyline.values, bounds)
+    best = int(np.argmax(scores))
+    candidate = FilteringTuple(site=skyline.row(best), vdr=float(scores[best]))
+    if incoming is None:
+        return candidate
+    return candidate if candidate.vdr > vdr(incoming.values, bounds) else incoming
 
 
 def union_dominating_volume(

@@ -12,7 +12,7 @@ produced by ``benchmarks/test_fig5_*``.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -63,12 +63,15 @@ def measure_local_time(
     relation: Relation,
     storage_kind: str,
     cost_model: DeviceCostModel = PDA_2006,
+    path: Optional[str] = None,
 ) -> float:
     """Modelled PDA seconds for one local skyline over ``relation``.
 
     ``storage_kind`` is ``"hybrid"`` (the paper's HS + ID-based SFS) or
-    ``"flat"`` (FS + BNL). Runs the faithful per-tuple algorithm and
-    prices its exact operation counts.
+    ``"flat"`` (FS + BNL). Runs the faithful algorithm and prices its
+    exact operation counts; ``path`` picks the fast kernels or the
+    reference loops (identical counts either way, so the modelled
+    seconds don't depend on it — only wall time does).
     """
     if storage_kind == "hybrid":
         storage = HybridStorage(relation)
@@ -81,13 +84,14 @@ def measure_local_time(
         (relation.schema.spatial_extent[1] + relation.schema.spatial_extent[3]) / 2,
     )
     query = SkylineQuery(origin=0, cnt=0, pos=center, d=_UNBOUNDED)
-    result = local_skyline(storage, query, None)
+    result = local_skyline(storage, query, None, path=path)
     return cost_model.time_for_counter(result.comparisons, scanned=result.scanned)
 
 
 def figure_5a(
     scale: ExperimentScale = DEFAULT,
     cost_model: DeviceCostModel = PDA_2006,
+    path: Optional[str] = None,
 ) -> FigureResult:
     """Processing time vs. cardinality (2 non-spatial attributes)."""
     result = FigureResult(
@@ -106,10 +110,10 @@ def figure_5a(
                 cardinality, 2, dist, seed=scale.seed + i
             )
             series[f"HS-{tag}"].append(
-                measure_local_time(relation, "hybrid", cost_model)
+                measure_local_time(relation, "hybrid", cost_model, path=path)
             )
             series[f"FS-{tag}"].append(
-                measure_local_time(relation, "flat", cost_model)
+                measure_local_time(relation, "flat", cost_model, path=path)
             )
     for name in ("HS-IN", "FS-IN", "HS-AC", "FS-AC"):
         result.add_series(name, series[name])
@@ -119,6 +123,7 @@ def figure_5a(
 def figure_5b(
     scale: ExperimentScale = DEFAULT,
     cost_model: DeviceCostModel = PDA_2006,
+    path: Optional[str] = None,
 ) -> FigureResult:
     """Processing time vs. dimensionality (fixed cardinality).
 
@@ -143,8 +148,12 @@ def figure_5b(
                 scale.local_dim_cardinality, dims, dist,
                 seed=scale.seed + 100 + i,
             )
-            hs_times.append(measure_local_time(relation, "hybrid", cost_model))
-            fs_times.append(measure_local_time(relation, "flat", cost_model))
+            hs_times.append(
+                measure_local_time(relation, "hybrid", cost_model, path=path)
+            )
+            fs_times.append(
+                measure_local_time(relation, "flat", cost_model, path=path)
+            )
         hs.append(sum(hs_times) / len(hs_times))
         fs.append(sum(fs_times) / len(fs_times))
     result.add_series("HS", hs)

@@ -25,7 +25,12 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.assembly import DEFAULT_MERGE_BLOCK, SkylineAssembler, merge_skylines
 from ..core.filtering import Estimation, FilteringTuple, select_filter
-from ..core.local import LocalSkylineResult, local_skyline, local_skyline_vectorized
+from ..core.local import (
+    LOCAL_PATHS,
+    LocalSkylineResult,
+    local_skyline,
+    local_skyline_vectorized,
+)
 from ..core.query import QueryCounter, QueryLog, SkylineQuery
 from ..devices.cost_model import PDA_2006, DeviceCostModel
 from ..devices.energy import EnergyMeter
@@ -67,6 +72,10 @@ class ProtocolConfig:
         over_margin: Margin for over-estimation.
         processor: ``vectorized`` (fast, for simulations), ``hybrid`` or
             ``flat`` (faithful per-tuple paths with operation counts).
+        local_path: For the storage processors, ``fast`` runs the tiled
+            numpy kernels and ``reference`` the row-at-a-time loops —
+            bit-identical results and counters either way (the switch
+            exists for differential tests and benchmarks).
         cost_model: Converts local work into simulated processing time.
         model_processing_delay: If True, local processing delays message
             sends by the modelled device time (the paper adds estimated
@@ -107,6 +116,7 @@ class ProtocolConfig:
     estimation: Estimation = Estimation.UNDER
     over_margin: float = 0.2
     processor: str = "vectorized"
+    local_path: str = "fast"
     cost_model: DeviceCostModel = PDA_2006
     model_processing_delay: bool = True
     query_timeout: float = 600.0
@@ -123,6 +133,8 @@ class ProtocolConfig:
     def __post_init__(self) -> None:
         if self.processor not in ("vectorized", "hybrid", "flat"):
             raise ValueError(f"unknown processor {self.processor!r}")
+        if self.local_path not in LOCAL_PATHS:
+            raise ValueError(f"unknown local_path {self.local_path!r}")
         if self.assembler not in ("incremental", "legacy"):
             raise ValueError(f"unknown assembler {self.assembler!r}")
         if self.merge_block < 1:
@@ -307,6 +319,7 @@ class SkylineDevice(Node):
                 self._storage, query, flt,
                 estimation=self.config.estimation,
                 over_margin=self.config.over_margin,
+                path=self.config.local_path,
             )
         else:
             result = local_skyline_vectorized(

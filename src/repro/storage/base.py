@@ -112,6 +112,24 @@ class StorageModel(abc.ABC):
     def values_matrix(self) -> np.ndarray:
         """Bulk ``(N, n)`` logical values in stored order (no stats)."""
 
+    def read_all_values(self) -> np.ndarray:
+        """Bulk ``(N, n)`` logical values, charging :attr:`stats` exactly
+        as one :meth:`get_value` call per ``(row, attribute)`` would.
+
+        The fast local-processing path materializes the whole relation
+        up front instead of fetching values row by row; this hook lets
+        each layout charge the identical modelled access cost in bulk.
+        The default delegates to per-element :meth:`get_value`, which is
+        exact for any layout; concrete layouts override it with the
+        analytic total.
+        """
+        n, dims = self.cardinality, self.dimensions
+        values = np.empty((n, dims), dtype=np.float64)
+        for row in range(n):
+            for attr in range(dims):
+                values[row, attr] = self.get_value(row, attr)
+        return values
+
     @abc.abstractmethod
     def size_bytes(self) -> int:
         """Modelled storage footprint on the device."""

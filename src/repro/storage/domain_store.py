@@ -80,6 +80,13 @@ class DomainStorage(StorageModel):
         ]
         return np.column_stack(cols).astype(np.float64)
 
+    def read_all_values(self) -> np.ndarray:
+        """Bulk fetch; charges one dereference + value read per cell."""
+        reads = self.cardinality * self.dimensions
+        self.stats.indirections += reads
+        self.stats.value_reads += reads
+        return self.values_matrix()
+
     def size_bytes(self) -> int:
         """Coordinates inline + one pointer per attribute + domain tables."""
         per_tuple = 2 * SPATIAL_VALUE_BYTES + self.dimensions * POINTER_BYTES

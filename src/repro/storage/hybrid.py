@@ -59,6 +59,7 @@ class HybridStorage(StorageModel):
 
     def __init__(self, relation: Relation, sort_attribute: Optional[int] = None) -> None:
         super().__init__(relation.schema)
+        self._ids_rows: Optional[List[List[int]]] = None
         n = relation.cardinality
         dims = relation.dimensions
         domains: List[np.ndarray] = []
@@ -118,6 +119,17 @@ class HybridStorage(StorageModel):
         """``(N, n)`` ID matrix in stored (sorted) order."""
         return self._ids
 
+    def ids_rows(self) -> List[List[int]]:
+        """The ID matrix as nested Python lists, materialized once.
+
+        The reference (per-tuple) SFS scan iterates row lists; doing the
+        ``tolist()`` conversion per query dominated its setup cost, so it
+        is cached on the (immutable) storage object.
+        """
+        if self._ids_rows is None:
+            self._ids_rows = self._ids.tolist()
+        return self._ids_rows
+
     def domain(self, attr: int) -> np.ndarray:
         """Sorted distinct values of attribute ``attr``."""
         return self._domains[attr]
@@ -147,6 +159,13 @@ class HybridStorage(StorageModel):
             self._domains[j][self._ids[:, j]] for j in range(self.dimensions)
         ]
         return np.column_stack(cols).astype(np.float64)
+
+    def read_all_values(self) -> np.ndarray:
+        """Bulk decode; charges one ID read + dereference per cell."""
+        reads = self.cardinality * self.dimensions
+        self.stats.id_reads += reads
+        self.stats.indirections += reads
+        return self.values_matrix()
 
     # -- O(1) metadata (Section 4.2) ----------------------------------------
 
@@ -202,17 +221,24 @@ class HybridStorage(StorageModel):
             out.append(pos)
         return tuple(out)
 
-    def encode_threshold(self, values: Sequence[float]) -> Tuple[int, ...]:
+    def encode_threshold(
+        self, values: Sequence[float], side: str = "left"
+    ) -> Tuple[int, ...]:
         """Conservative ID-space image of an external value vector.
 
         For a filtering tuple that may not exist locally, attribute value
-        ``v`` maps to the index of the first domain entry ``>= v``. A
-        local tuple with ``id >= encode_threshold(v)`` has value ``>= v``
-        — exactly the relation the pruning comparisons need.
+        ``v`` maps to the index of the first domain entry ``>= v``
+        (``side="left"``). A local tuple with ``id >= encode_threshold(v)``
+        has value ``>= v`` — exactly the relation the pruning comparisons
+        need. ``side="right"`` maps ``v`` to the first entry ``> v``, so
+        ``id >= threshold`` means the value is *strictly* greater — the
+        strict half of the dominance test.
         """
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
         self.schema.validate_values(values)
         return tuple(
-            int(np.searchsorted(self._domains[j], v, side="left"))
+            int(np.searchsorted(self._domains[j], v, side=side))
             for j, v in enumerate(values)
         )
 

@@ -36,11 +36,13 @@ class RingStorage(StorageModel):
         next_in_ring = np.empty((n, dims), dtype=np.int64)
         is_head = np.zeros((n, dims), dtype=bool)
         head_values: List[Dict[int, float]] = [dict() for _ in range(dims)]
+        total_hops = 0
         for j in range(dims):
             rings: Dict[float, List[int]] = {}
             for i in range(n):
                 rings.setdefault(float(relation.values[i, j]), []).append(i)
             for value, members in rings.items():
+                total_hops += len(members) * (len(members) - 1) // 2
                 head = members[0]
                 is_head[head, j] = True
                 head_values[j][head] = value
@@ -53,6 +55,10 @@ class RingStorage(StorageModel):
         self._site_ids = relation.site_ids
         self._mbr = relation.mbr() if n else (0.0, 0.0, 0.0, 0.0)
         self._ring_count = sum(len(hv) for hv in head_values)
+        # Total chain hops of reading every cell once: the member at ring
+        # position ``pos`` walks ``L - pos`` hops (head walks 0), so one
+        # ring of size L contributes L(L-1)/2 hops.
+        self._total_chain_hops = total_hops
 
     @property
     def cardinality(self) -> int:
@@ -107,6 +113,15 @@ class RingStorage(StorageModel):
                     current = int(self._next[current, j])
             out[:, j] = resolved
         return out
+
+    def read_all_values(self) -> np.ndarray:
+        """Bulk fetch; charges the full chain-walk cost of reading every
+        cell once via :meth:`get_value` (``hops + 1`` indirections and
+        one value read per cell), using the precomputed hop total."""
+        reads = self.cardinality * self.dimensions
+        self.stats.value_reads += reads
+        self.stats.indirections += reads + self._total_chain_hops
+        return self.values_matrix()
 
     def size_bytes(self) -> int:
         """Coordinates + one ring pointer per attribute per tuple + one

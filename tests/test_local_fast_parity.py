@@ -1,0 +1,214 @@
+"""Differential suite pinning the local-processing fast path.
+
+The tiled numpy kernels of :mod:`repro.core.local` (``path="fast"``)
+shadow the row-at-a-time Figure 4 reference loops (``path="reference"``).
+The contract is *bit-identical everything*: skyline rows in order,
+skip decisions, every :class:`ComparisonCounter` field, every
+:class:`AccessStats` field, and the promoted filtering tuple — for all
+four storage models, any tile size, any estimation mode. The reference
+loops define correctness; these tests make the kernels earn their keep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import Estimation, FilteringTuple
+from repro.core.local import (
+    LOCAL_PATHS,
+    configure_local_path,
+    local_skyline,
+    resolve_local_path,
+)
+from repro.core.query import SkylineQuery
+from repro.data import make_global_dataset
+from repro.data.workload import generate_workload
+from repro.experiments.local_processing import device_dataset
+from repro.metrics.collector import collect_metrics
+from repro.protocol.coordinator import SimulationConfig, run_manet_simulation
+from repro.protocol.device import ProtocolConfig
+from repro.storage import (
+    DomainStorage,
+    FlatStorage,
+    HybridStorage,
+    RingStorage,
+)
+
+ALL_STORAGES = [FlatStorage, HybridStorage, DomainStorage, RingStorage]
+
+QUERY = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=700.0)
+WIDE = SkylineQuery(origin=0, cnt=0, pos=(500.0, 500.0), d=1.0e12)
+
+
+def _observe(storage_cls, rel, query, **kwargs):
+    """Everything the contract pins, as one comparable tuple."""
+    storage = storage_cls(rel)
+    res = local_skyline(storage, query, **kwargs)
+    flt = res.updated_filter
+    return (
+        res.skyline.xy.tobytes(),
+        res.skyline.values.tobytes(),
+        res.unreduced_size,
+        res.skipped,
+        res.scanned,
+        res.in_range,
+        res.comparisons.as_tuple(),
+        (
+            storage.stats.value_reads,
+            storage.stats.id_reads,
+            storage.stats.indirections,
+        ),
+        None if flt is None else (tuple(flt.values), flt.vdr),
+    )
+
+
+def _assert_paths_agree(rel, query, **kwargs):
+    for storage_cls in ALL_STORAGES:
+        fast = _observe(storage_cls, rel, query, path="fast", **kwargs)
+        ref = _observe(storage_cls, rel, query, path="reference", **kwargs)
+        assert fast == ref, storage_cls.__name__
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+    @pytest.mark.parametrize("dims", [2, 4])
+    def test_plain_query(self, distribution, dims):
+        for seed in range(6):
+            rel = device_dataset(130, dims, distribution, seed=seed)
+            _assert_paths_agree(rel, QUERY)
+
+    @pytest.mark.parametrize("estimation", list(Estimation))
+    def test_with_filter(self, estimation):
+        """Filter pruning: MBR skip, range reduction, and the window
+        filter pass must make identical decisions and charges."""
+        for seed in range(6):
+            rel = device_dataset(130, 3, "independent", seed=seed)
+            flt = FilteringTuple(site=rel.row(seed % rel.cardinality), vdr=1.0)
+            _assert_paths_agree(rel, WIDE, flt=flt, estimation=estimation)
+
+    @pytest.mark.parametrize("block", [1, 2, 7])
+    def test_tiny_tiles(self, block):
+        """Tile boundaries are internal: any block size replays the
+        reference counters exactly (block=1 degenerates to row-at-a-time)."""
+        rel = device_dataset(90, 3, "anticorrelated", seed=11)
+        flt = FilteringTuple(site=rel.row(5), vdr=1.0)
+        _assert_paths_agree(rel, QUERY, block=block)
+        _assert_paths_agree(rel, WIDE, flt=flt, block=block)
+
+    def test_duplicate_heavy_relation(self):
+        """Equal ID tuples never dominate each other — the duplicated
+        regime where the strictness of dominance matters most."""
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            rel = device_dataset(150, 3, "independent", seed=seed)
+            values = np.floor(rel.values / 300.0) * 300.0  # ~4 distinct
+            rel = type(rel)(rel.schema, rel.xy, values)
+            del rng
+            _assert_paths_agree(rel, QUERY)
+
+    def test_degenerate_sizes(self):
+        for n in (1, 2, 3):
+            rel = device_dataset(n, 2, "independent", seed=1)
+            _assert_paths_agree(rel, WIDE)
+
+    def test_out_of_range_skip(self):
+        rel = device_dataset(40, 2, "independent", seed=2)
+        far = SkylineQuery(origin=0, cnt=0, pos=(-9e6, -9e6), d=1.0)
+        _assert_paths_agree(rel, far)
+
+
+class TestPathResolution:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resolve_local_path("turbo")
+        rel = device_dataset(10, 2, "independent", seed=0)
+        with pytest.raises(ValueError):
+            local_skyline(FlatStorage(rel), WIDE, path="turbo")
+
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCAL_PATH", raising=False)
+        configure_local_path(None)
+        assert resolve_local_path(None) == "fast"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCAL_PATH", "reference")
+        configure_local_path(None)
+        assert resolve_local_path(None) == "reference"
+        with pytest.raises(ValueError):
+            monkeypatch.setenv("REPRO_LOCAL_PATH", "bogus")
+            resolve_local_path(None)
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCAL_PATH", "reference")
+        configure_local_path("fast")
+        try:
+            assert resolve_local_path(None) == "fast"
+            assert resolve_local_path("reference") == "reference"
+        finally:
+            configure_local_path(None)
+
+    def test_explicit_beats_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCAL_PATH", "fast")
+        for path in LOCAL_PATHS:
+            assert resolve_local_path(path) == path
+
+    def test_protocol_config_validates(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(local_path="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Full simulations: the path choice must be invisible end to end
+# ---------------------------------------------------------------------------
+
+
+def _simulate(local_path, strategy, processor):
+    dataset = make_global_dataset(
+        1500, 2, 9, "anticorrelated", seed=201, value_step=1.0
+    )
+    workload = generate_workload(
+        devices=9,
+        sim_time=300.0,
+        distance=350.0,
+        queries_per_device=(1, 2),
+        seed=202,
+    )
+    config = SimulationConfig(
+        strategy=strategy,
+        sim_time=300.0,
+        protocol=ProtocolConfig(
+            use_filter=True,
+            dynamic_filter=True,
+            processor=processor,
+            local_path=local_path,
+        ),
+        seed=203,
+    )
+    return run_manet_simulation(dataset, workload, config)
+
+
+@pytest.mark.parametrize("strategy", ["bf", "df"])
+@pytest.mark.parametrize("processor", ["hybrid", "flat"])
+def test_simulation_path_parity(strategy, processor):
+    """A full MANET run is bit-identical under either local path: every
+    QueryRecord field, every result table, the aggregated metrics."""
+    fast = _simulate("fast", strategy, processor)
+    ref = _simulate("reference", strategy, processor)
+
+    assert fast.issued == ref.issued
+    assert fast.suppressed == ref.suppressed
+    assert fast.events == ref.events
+    assert fast.energy_joules == ref.energy_joules
+    assert len(fast.records) == len(ref.records)
+    for rf, rs in zip(fast.records, ref.records):
+        assert rf.key == rs.key
+        assert rf.completion_time == rs.completion_time
+        assert rf.closed == rs.closed
+        assert set(rf.contributions) == set(rs.contributions)
+        assert rf.local_unreduced == rs.local_unreduced
+        assert rf.local_reduced == rs.local_reduced
+        assert np.array_equal(rf.result.xy, rs.result.xy)
+        assert np.array_equal(rf.result.values, rs.result.values)
+        assert np.array_equal(rf.result.site_ids, rs.result.site_ids)
+    assert collect_metrics(fast, strategy) == collect_metrics(ref, strategy)

@@ -178,6 +178,40 @@ class TestHybridSpecifics:
                 for j in range(3):
                     assert (hs.ids[row, j] >= thr[j]) == (vm[row, j] >= probe[j])
 
+    def test_encode_threshold_right_side(self):
+        """side="right": id >= threshold  <=>  value > probe."""
+        rel = quantized_relation(n=60, seed=7)
+        hs = HybridStorage(rel)
+        vm = hs.values_matrix()
+        for probe in [(-1.0, 2.5, 3.0), (0.0, 0.0, 0.0), (99.0, 1.0, 2.0)]:
+            thr = hs.encode_threshold(probe, side="right")
+            for row in range(0, 60, 7):
+                for j in range(3):
+                    assert (hs.ids[row, j] >= thr[j]) == (vm[row, j] > probe[j])
+
+    def test_encode_threshold_matches_searchsorted(self):
+        rel = quantized_relation(n=80, seed=8)
+        hs = HybridStorage(rel)
+        probe = tuple(float(v) for v in rel.values[4])
+        for side in ("left", "right"):
+            thr = hs.encode_threshold(probe, side=side)
+            want = tuple(
+                int(np.searchsorted(hs.domain(j), probe[j], side=side))
+                for j in range(3)
+            )
+            assert thr == want
+
+    def test_encode_threshold_invalid_side(self):
+        hs = HybridStorage(quantized_relation())
+        with pytest.raises(ValueError):
+            hs.encode_threshold((0.0, 0.0, 0.0), side="middle")
+
+    def test_ids_rows_cached(self):
+        hs = HybridStorage(quantized_relation(n=25))
+        rows = hs.ids_rows()
+        assert hs.ids_rows() is rows
+        assert rows == hs.ids.tolist()
+
     def test_local_bounds_o1_from_domains(self):
         rel = quantized_relation()
         hs = HybridStorage(rel)
@@ -254,6 +288,41 @@ class TestRingStorageSpecifics:
         # 3 attrs * 4 rings: value+pointer each, plus per-tuple pointers.
         expected = 1000 * (2 * 4 + 3 * 4) + 3 * 4 * (4 + 4)
         assert rs.size_bytes() == expected
+
+
+class TestFlatSpecifics:
+    def test_values_rows_cached(self):
+        fs = FlatStorage(quantized_relation(n=25))
+        rows = fs.values_rows()
+        assert fs.values_rows() is rows
+        assert rows == fs.values_matrix().tolist()
+
+
+@pytest.mark.parametrize("storage_cls", ALL_STORAGES)
+class TestBulkRead:
+    def test_read_all_values_matches_matrix(self, storage_cls):
+        s = storage_cls(quantized_relation(n=40))
+        assert np.array_equal(s.read_all_values(), s.values_matrix())
+
+    def test_read_all_values_charges_like_cell_loop(self, storage_cls):
+        """The bulk read's analytic charge equals a full get_value sweep
+        — the fast path's access accounting is exact, not approximate."""
+        rel = quantized_relation(n=40, distinct=4, seed=9)
+        looped = storage_cls(rel)
+        for row in range(looped.cardinality):
+            for attr in range(looped.dimensions):
+                looped.get_value(row, attr)
+        bulk = storage_cls(rel)
+        bulk.read_all_values()
+        assert (
+            bulk.stats.value_reads,
+            bulk.stats.id_reads,
+            bulk.stats.indirections,
+        ) == (
+            looped.stats.value_reads,
+            looped.stats.id_reads,
+            looped.stats.indirections,
+        )
 
 
 class TestAccessStats:
