@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark.
+
+Measures the cost of the ``repro.obs`` layer on end-to-end BF and DF
+MANET runs, three ways:
+
+* ``wall_s_off`` — the default path: every instrumentation site guards
+  on ``NULL_OBSERVER.enabled`` and falls through. This is what every
+  untraced simulation pays, and what the CI gate protects (a traced
+  build must not slow down users who never trace).
+* ``wall_s_traced`` — the same run with a live
+  :class:`~repro.obs.Observer` bound; ``overhead_ratio`` is
+  traced/off. Tracing is allowed to cost — the gate on it is loose.
+* ``guard_ns`` — a micro-measure of one guarded no-op site
+  (attribute load + branch), the per-site cost of leaving the
+  instrumentation wired in permanently.
+
+Every timed pair first asserts bit-identical results (query
+cardinalities, transmissions, bytes) — the observer's passivity
+contract. Emits ``BENCH_obs.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py            # full run
+    PYTHONPATH=src python benchmarks/obs_overhead.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/obs_overhead.py --check BENCH_obs.json
+    PYTHONPATH=src python benchmarks/obs_overhead.py \
+        --check new.json --baseline BENCH_obs.json
+
+``--check`` validates an output file against the schema. With
+``--baseline``, it additionally fails when the new ``wall_s_off``
+regresses more than 2x against the baseline, or when the in-process
+``overhead_ratio`` of the traced path exceeds ``MAX_TRACED_RATIO``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+SCHEMA_VERSION = "bench_obs/v1"
+STRATEGIES = ("bf", "df")
+FIELDS = ("wall_s_off", "wall_s_traced", "overhead_ratio",
+          "queries_completed", "spans", "events")
+#: Wall-time regression tolerance for --check --baseline (off path).
+REGRESSION_FACTOR = 2.0
+#: Ceiling for traced/off wall ratio (tracing may cost, not explode).
+MAX_TRACED_RATIO = 3.0
+
+
+# -- fixtures ----------------------------------------------------------------
+
+
+def _run_once(strategy: str, smoke: bool, observer=None):
+    """One deterministic MANET run; returns (wall_s, result, signature)."""
+    from repro.data import make_global_dataset
+    from repro.data.workload import generate_workload
+    from repro.protocol.coordinator import (
+        SimulationConfig,
+        run_manet_simulation,
+    )
+
+    devices = 9 if smoke else 25
+    tuples = 2_000 if smoke else 20_000
+    sim_time = 300.0 if smoke else 600.0
+    dataset = make_global_dataset(
+        tuples, 2, devices, "independent", seed=101, value_step=1.0
+    )
+    workload = generate_workload(
+        devices=devices, sim_time=sim_time, distance=500.0,
+        queries_per_device=(1, 1), seed=102,
+    )
+    config = SimulationConfig(strategy=strategy, sim_time=sim_time, seed=103)
+    start = time.perf_counter()
+    result = run_manet_simulation(
+        dataset, workload, config, observer=observer
+    )
+    wall = time.perf_counter() - start
+    signature = (
+        tuple(r.result.cardinality for r in result.records),
+        result.traffic.transmissions,
+        result.traffic.bytes_sent,
+        result.issued,
+    )
+    return wall, result, signature
+
+
+def bench_strategy(strategy: str, smoke: bool) -> Dict[str, float]:
+    """Timed off/traced pair with a parity assertion first."""
+    from repro.obs import Observer
+
+    _, _, sig_off = _run_once(strategy, smoke)
+    _, _, sig_on = _run_once(strategy, smoke, observer=Observer())
+    if sig_off != sig_on:  # pragma: no cover - self-check
+        raise AssertionError(
+            f"{strategy}: traced run diverged from untraced run"
+        )
+
+    repeats = 2 if smoke else 3
+    wall_off = min(
+        _run_once(strategy, smoke)[0] for _ in range(repeats)
+    )
+    best_traced = None
+    observer = None
+    for _ in range(repeats):
+        candidate = Observer()
+        wall, result, _ = _run_once(strategy, smoke, observer=candidate)
+        if best_traced is None or wall < best_traced:
+            best_traced = wall
+            observer = candidate
+    completed = len(result.completed)
+    return {
+        "wall_s_off": wall_off,
+        "wall_s_traced": best_traced,
+        "overhead_ratio": best_traced / wall_off,
+        "queries_completed": float(completed),
+        "spans": float(len(observer.spans)),
+        "events": float(len(observer.events)),
+    }
+
+
+def bench_guard(iterations: int = 2_000_000) -> float:
+    """Nanoseconds per guarded no-op instrumentation site."""
+    from repro.obs import NULL_OBSERVER
+
+    class Holder:
+        obs = NULL_OBSERVER
+
+    holder = Holder()
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(iterations):
+        if holder.obs.enabled:  # the exact hot-path guard shape
+            hits += 1  # pragma: no cover - never taken
+    elapsed = time.perf_counter() - start
+    assert hits == 0
+    return elapsed / iterations * 1e9
+
+
+# -- schema ------------------------------------------------------------------
+
+
+def validate(doc) -> list:
+    """Schema check; returns a list of violations (empty == valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(f"schema must be {SCHEMA_VERSION!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("smoke must be a bool")
+    if not isinstance(doc.get("guard_ns"), (int, float)):
+        errors.append("guard_ns must be a number")
+    e2e = doc.get("end_to_end")
+    if not isinstance(e2e, dict):
+        errors.append("end_to_end must be an object")
+        return errors
+    for strategy in STRATEGIES:
+        entry = e2e.get(strategy)
+        if not isinstance(entry, dict):
+            errors.append(f"end_to_end.{strategy} missing")
+            continue
+        for fld in FIELDS:
+            value = entry.get(fld)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"end_to_end.{strategy}.{fld} bad: {value!r}")
+    return errors
+
+
+def check_baseline(doc, baseline) -> list:
+    """Regression gate; returns a list of failures (empty == pass)."""
+    failures = []
+    for strategy in STRATEGIES:
+        new = doc["end_to_end"][strategy]
+        old = baseline["end_to_end"][strategy]
+        if new["wall_s_off"] > old["wall_s_off"] * REGRESSION_FACTOR:
+            failures.append(
+                f"{strategy}: obs-off wall {new['wall_s_off']:.3f}s > "
+                f"{REGRESSION_FACTOR}x baseline {old['wall_s_off']:.3f}s"
+            )
+        if new["overhead_ratio"] > MAX_TRACED_RATIO:
+            failures.append(
+                f"{strategy}: traced/off ratio {new['overhead_ratio']:.2f} > "
+                f"{MAX_TRACED_RATIO}"
+            )
+    return failures
+
+
+def run(smoke: bool) -> Dict:
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "smoke": smoke,
+        "guard_ns": bench_guard(200_000 if smoke else 2_000_000),
+        "end_to_end": {},
+    }
+    for strategy in STRATEGIES:
+        doc["end_to_end"][strategy] = bench_strategy(strategy, smoke)
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast CI variant (same schema)")
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="output path (default: BENCH_obs.json)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing output file and exit")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="with --check: fail on regression vs FILE")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as fh:
+            doc = json.load(fh)
+        errors = validate(doc)
+        if errors:
+            for err in errors:
+                print(f"schema violation: {err}", file=sys.stderr)
+            return 1
+        if args.baseline:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+            failures = check_baseline(doc, baseline)
+            if failures:
+                for failure in failures:
+                    print(f"regression: {failure}", file=sys.stderr)
+                return 1
+        ratios = ", ".join(
+            f"{s}: {doc['end_to_end'][s]['overhead_ratio']:.2f}x"
+            for s in STRATEGIES
+        )
+        print(f"{args.check}: valid ({SCHEMA_VERSION}); traced/off {ratios}")
+        return 0
+
+    doc = run(smoke=args.smoke)
+    errors = validate(doc)
+    if errors:  # pragma: no cover - self-check
+        for err in errors:
+            print(f"internal schema violation: {err}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"{'guard':>8}: {doc['guard_ns']:.1f} ns per off-path site")
+    for strategy in STRATEGIES:
+        entry = doc["end_to_end"][strategy]
+        print(
+            f"{strategy:>8}: off {entry['wall_s_off']:.2f}s, traced "
+            f"{entry['wall_s_traced']:.2f}s "
+            f"({entry['overhead_ratio']:.2f}x), "
+            f"{int(entry['spans'])} spans / {int(entry['events'])} events "
+            f"over {int(entry['queries_completed'])} queries"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Merged benchmark trend report.
+
+Folds every committed benchmark document — ``BENCH_world.json``,
+``BENCH_query.json``, ``BENCH_local.json``, and (when present)
+``BENCH_obs.json`` — into one flat trend table, as markdown and JSON.
+The speedup summary puts every suite's headline ratios side by side, so
+one glance answers "did any fast path regress since the last run?".
+
+Usage::
+
+    python benchmarks/report.py                       # print markdown
+    python benchmarks/report.py --json report.json
+    python benchmarks/report.py --markdown report.md
+    python benchmarks/report.py --dir path/to/bench/files
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPORT_SCHEMA = "bench_report/v1"
+
+#: Known suites, in display order. Missing files are skipped (the obs
+#: suite only exists after ``benchmarks/obs_overhead.py`` has run).
+SUITES = ("world", "query", "local", "obs")
+
+#: Keys that are metadata, not measurements.
+_META_KEYS = {"schema", "smoke"}
+
+
+def flatten(doc: Dict, prefix: Tuple[str, ...] = ()) -> List[Tuple[str, float]]:
+    """Flatten nested benchmark dicts to sorted ``(dotted.path, value)``."""
+    rows: List[Tuple[str, float]] = []
+    for key in sorted(doc, key=str):
+        if not prefix and key in _META_KEYS:
+            continue
+        value = doc[key]
+        if isinstance(value, dict):
+            rows.extend(flatten(value, prefix + (str(key),)))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            rows.append((".".join(prefix + (str(key),)), float(value)))
+    return rows
+
+
+def load_suites(directory: Path) -> Dict[str, Dict]:
+    """Read every ``BENCH_<suite>.json`` present in ``directory``."""
+    suites = {}
+    for suite in SUITES:
+        path = directory / f"BENCH_{suite}.json"
+        if path.exists():
+            with open(path) as handle:
+                suites[suite] = json.load(handle)
+    return suites
+
+
+def build_report(suites: Dict[str, Dict]) -> Dict:
+    """The merged JSON document: per-suite flat rows + speedup summary."""
+    tables = {name: dict(flatten(doc)) for name, doc in suites.items()}
+    speedups = {
+        f"{suite}.{path}": value
+        for suite, rows in tables.items()
+        for path, value in rows.items()
+        if path.rsplit(".", 1)[-1] in ("speedup", "wall_speedup", "overhead_ratio")
+    }
+    return {
+        "schema": REPORT_SCHEMA,
+        "suites": {
+            name: {"smoke": bool(doc.get("smoke", False)), "rows": tables[name]}
+            for name, doc in suites.items()
+        },
+        "speedups": speedups,
+    }
+
+
+def render_markdown(report: Dict) -> str:
+    """Human-facing trend tables."""
+    lines = ["# Benchmark trend report", ""]
+    speedups = report["speedups"]
+    if speedups:
+        lines += [
+            "## Speedups and ratios",
+            "",
+            "| metric | ratio |",
+            "| --- | ---: |",
+        ]
+        lines += [
+            f"| `{name}` | {value:.3f} |" for name, value in sorted(speedups.items())
+        ]
+        lines.append("")
+    for suite, body in sorted(report["suites"].items()):
+        smoke = " (smoke)" if body["smoke"] else ""
+        lines += [f"## {suite}{smoke}", "", "| metric | value |", "| --- | ---: |"]
+        lines += [
+            f"| `{path}` | {value:.6g} |"
+            for path, value in sorted(body["rows"].items())
+        ]
+        lines.append("")
+    if not report["suites"]:
+        lines.append("_No BENCH_*.json files found._")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory holding the BENCH_*.json files (default: .)",
+    )
+    parser.add_argument("--json", metavar="FILE", help="write the merged JSON here")
+    parser.add_argument("--markdown", metavar="FILE", help="write markdown here")
+    args = parser.parse_args(argv)
+
+    suites = load_suites(Path(args.dir))
+    if not suites:
+        print(f"no BENCH_*.json files under {args.dir}", file=sys.stderr)
+        return 1
+    report = build_report(suites)
+    markdown = render_markdown(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(markdown + "\n")
+        print(f"wrote {args.markdown}")
+    if not args.json and not args.markdown:
+        print(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Examples::
     python -m repro fig6 --scale smoke
     python -m repro all --scale smoke
     repro-skyline fig12 --scale default
+    repro-skyline trace --scale smoke --obs telemetry/
 """
 
 from __future__ import annotations
@@ -79,8 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_FIGURES),
-        help="which figure (or figure group) to regenerate",
+        choices=sorted(_FIGURES) + ["trace"],
+        help=(
+            "which figure (or figure group) to regenerate; 'trace' runs "
+            "one observed simulation per strategy and prints its "
+            "query-lifecycle summary"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -116,6 +121,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        help=(
+            "telemetry directory: traced runs write spans.jsonl, a "
+            "Perfetto trace.json, metrics.json, and a per-query summary "
+            "per run (default: REPRO_OBS; 'off' disables)"
+        ),
+    )
+    parser.add_argument(
+        "--strategy",
+        default="both",
+        choices=("bf", "df", "both"),
+        help="strategies for the 'trace' command (default: both)",
+    )
+    parser.add_argument(
         "--local-path",
         choices=LOCAL_PATHS,
         help=(
@@ -127,6 +147,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_trace(args, scale) -> int:
+    """The ``trace`` command: one observed run per requested strategy."""
+    from pathlib import Path
+
+    from .experiments.tracing import trace_point
+    from .obs import query_summary, telemetry_root
+
+    directory = telemetry_root()
+    strategies = ("bf", "df") if args.strategy == "both" else (args.strategy,)
+    for strategy in strategies:
+        start = time.time()
+        observer, profiler, _metrics = trace_point(
+            strategy, scale, directory=directory
+        )
+        print(f"=== {strategy} (scale={scale.name}) ===")
+        print(query_summary(observer))
+        print()
+        print(profiler.render())
+        print(f"  [{time.time() - start:.1f}s]")
+        print()
+    if directory is not None:
+        print(f"telemetry written under {Path(directory) / scale.name}")
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro`` / ``repro-skyline``."""
     args = build_parser().parse_args(argv)
@@ -135,7 +180,13 @@ def main(argv=None) -> int:
         return 2
     ex.configure(workers=args.workers, cache_dir=args.cache_dir)
     configure_local_path(args.local_path)
+    if args.obs is not None:
+        from .obs import configure_telemetry
+
+        configure_telemetry(args.obs)
     scale = ex.get_scale(args.scale)
+    if args.figure == "trace":
+        return _run_trace(args, scale)
     results = []
     for fn in _FIGURES[args.figure]:
         start = time.time()

@@ -24,6 +24,7 @@ from ..core.filtering import Estimation
 from ..data.partition import make_global_dataset
 from ..data.workload import generate_workload
 from ..metrics.collector import RunMetrics, collect_metrics
+from ..obs import Observer, telemetry_root
 from ..protocol.coordinator import SimulationConfig, run_manet_simulation
 from ..protocol.device import ProtocolConfig
 from .config import DEFAULT, ExperimentScale
@@ -67,18 +68,27 @@ def clear_run_cache() -> None:
 
 
 def compute_manet_point(
-    point: ManetPoint, scale: ExperimentScale = DEFAULT
+    point: ManetPoint, scale: ExperimentScale = DEFAULT, observer=None
 ) -> RunMetrics:
     """Run one full MANET simulation and aggregate it (no caching).
 
     This is the pure compute path: deterministic in ``(point, scale)``.
     Pool workers call it directly; everything else should go through
     :func:`run_manet_point`.
+
+    When ``observer`` is given (or telemetry is enabled process-wide via
+    ``REPRO_OBS`` / ``repro --obs``), the run is traced; with a
+    telemetry directory configured, the run's telemetry bundle is
+    written under ``<dir>/<scale>/<point-slug>/``. Tracing is passive —
+    the returned metrics are bit-identical either way.
     """
     if point.scale_name != scale.name:
         raise ValueError(
             f"point was built for scale {point.scale_name!r}, got {scale.name!r}"
         )
+    obs_dir = telemetry_root()
+    if observer is None and obs_dir is not None:
+        observer = Observer()
     dataset = make_global_dataset(
         point.cardinality,
         point.dimensions,
@@ -104,8 +114,16 @@ def compute_manet_point(
         ),
         seed=point.seed + 2,
     )
-    result = run_manet_simulation(dataset, workload, config)
-    return collect_metrics(result, point.strategy)
+    result = run_manet_simulation(dataset, workload, config, observer=observer)
+    metrics = collect_metrics(result, point.strategy)
+    if observer is not None and obs_dir is not None:
+        from .tracing import dump_run_telemetry, point_slug
+
+        dump_run_telemetry(
+            observer, obs_dir / scale.name / point_slug(point),
+            metrics=metrics,
+        )
+    return metrics
 
 
 def store_run(

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs.observer import query_key_of
 from .engine import EventHandle, Simulator
 from .messages import CONTROL_BYTES, Frame, FrameKind, HEADER_BYTES
 from .world import World
@@ -272,6 +273,12 @@ class AodvRouter:
         on_undeliverable: Optional[Callable[[DataPacket], None]],
     ) -> None:
         """The next hop is gone: invalidate and attempt local repair."""
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "aodv.route-break", query=query_key_of(packet),
+                node=self.node_id, dest=packet.dest, repairs=packet.repairs,
+            )
+            self.world.obs.metrics.counter("aodv.route_breaks").inc()
         self.routes.pop(packet.dest, None)
         if packet.repairs < self.config.repair_attempts:
             packet.repairs += 1
@@ -312,6 +319,12 @@ class AodvRouter:
 
     def _start_discovery(self, dest: int, pending: _Pending) -> None:
         pending.attempts += 1
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "aodv.discovery", node=self.node_id, dest=dest,
+                attempt=pending.attempts,
+            )
+            self.world.obs.metrics.counter("aodv.discoveries").inc()
         self._rreq_id += 1
         self._seq += 1
         payload = {
@@ -366,6 +379,12 @@ class AodvRouter:
         packet: DataPacket,
         on_undeliverable: Optional[Callable[[DataPacket], None]],
     ) -> None:
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "aodv.undeliverable", query=query_key_of(packet),
+                node=self.node_id, dest=packet.dest, kind=packet.kind,
+            )
+            self.world.obs.metrics.counter("aodv.undeliverable").inc()
         if on_undeliverable is not None:
             on_undeliverable(packet)
         elif packet.source == self.node_id and self.on_undeliverable is not None:

@@ -10,8 +10,9 @@ suite's temporal assertions.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
 
 from .messages import Frame
 from .world import World
@@ -56,10 +57,14 @@ class Tracer:
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
-        self.events: List[TraceEvent] = []
+        #: Bounded ring when a capacity is set — evicting the oldest
+        #: event is O(1), not the O(n) front-of-list pop it once was.
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.capacity = capacity
         self._world: Optional[World] = None
         self.dropped_events = 0
+        self._original_record: Optional[Callable[[Frame], None]] = None
+        self._original_deliver: Optional[Callable[[int, Frame], None]] = None
 
     # -- installation -------------------------------------------------------
 
@@ -70,6 +75,8 @@ class Tracer:
         self._world = world
         original_record = world.stats.record_send
         original_deliver = world._deliver_to
+        self._original_record = original_record
+        self._original_deliver = original_deliver
 
         def record_send(frame: Frame) -> None:
             original_record(frame)
@@ -81,6 +88,24 @@ class Tracer:
 
         world.stats.record_send = record_send  # type: ignore[method-assign]
         world._deliver_to = deliver_to  # type: ignore[method-assign]
+        return self
+
+    def uninstall(self) -> "Tracer":
+        """Stop recording: restore the world's wrapped transmit and
+        delivery paths exactly as :meth:`install` found them. Recorded
+        events are kept; the tracer can be installed again (on this or
+        another world). Returns self."""
+        if self._world is None:
+            raise RuntimeError("tracer not installed on a world")
+        self._world.stats.record_send = (  # type: ignore[method-assign]
+            self._original_record
+        )
+        self._world._deliver_to = (  # type: ignore[method-assign]
+            self._original_deliver
+        )
+        self._world = None
+        self._original_record = None
+        self._original_deliver = None
         return self
 
     # -- recording ------------------------------------------------------------
@@ -110,9 +135,8 @@ class Tracer:
         )
 
     def _append(self, event: TraceEvent) -> None:
-        if self.capacity is not None and len(self.events) >= self.capacity:
-            self.events.pop(0)
-            self.dropped_events += 1
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped_events += 1  # deque evicts the oldest itself
         self.events.append(event)
 
     # -- querying ---------------------------------------------------------------

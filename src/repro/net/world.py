@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
+from ..obs.observer import NULL_OBSERVER
 from .engine import Simulator
 from .messages import Frame, FrameKind
 from .mobility import MobilityModel
@@ -147,6 +148,11 @@ class World:
         self._loss_override: Optional[float] = None
         self.cache_enabled = cache
         self._index = NeighborIndex(self)
+        #: Observability sink (``repro.obs``). Defaults to the shared
+        #: no-op observer; every instrumentation site below guards on
+        #: ``self.obs.enabled``, so the off path is one attribute load
+        #: and a branch. Attach a live observer with ``Observer.bind``.
+        self.obs = NULL_OBSERVER
         #: Optional per-node energy meters; when present, frame
         #: transmissions and receptions are charged to them
         #: (``repro.devices.EnergyMeter`` instances keyed by node id).
@@ -309,6 +315,8 @@ class World:
             return
         self._down.add(node)
         self._index.invalidate()
+        if self.obs.enabled:
+            self.obs.fault("node-crash", node=node)
         attached = self._nodes.get(node)
         on_crash = getattr(attached, "on_crash", None)
         if on_crash is not None:
@@ -321,6 +329,8 @@ class World:
             return
         self._down.discard(node)
         self._index.invalidate()
+        if self.obs.enabled:
+            self.obs.fault("node-recover", node=node)
         attached = self._nodes.get(node)
         on_recover = getattr(attached, "on_recover", None)
         if on_recover is not None:
@@ -338,6 +348,11 @@ class World:
             self._blackouts.discard(link)
         if changed:
             self._index.invalidate()
+            if self.obs.enabled:
+                self.obs.fault(
+                    "link-down" if blocked else "link-up",
+                    link=tuple(sorted(link)),
+                )
 
     def link_blacked_out(self, a: int, b: int) -> bool:
         """Is the pairwise link ``a``–``b`` currently forced down?"""
@@ -348,6 +363,8 @@ class World:
         windows); ``None`` restores the configured rate."""
         if loss_rate is not None and not 0.0 <= loss_rate <= 1.0:
             raise ValueError("loss_rate override must be in [0, 1] or None")
+        if self.obs.enabled and loss_rate != self._loss_override:
+            self.obs.fault("loss-override", loss_rate=loss_rate)
         self._loss_override = loss_rate
 
     @property
@@ -404,9 +421,13 @@ class World:
             return
         self.stats.record_send(frame)
         self._charge_tx(frame)
+        if self.obs.enabled:
+            self.obs.frame_sent(frame)
         delay = self.radio.transfer_delay(frame.size_bytes)
         if not self.can_communicate(frame.src, frame.dst) or self._lossy():
             self.stats.drops += 1
+            if self.obs.enabled:
+                self.obs.frame_dropped(frame, "no-link")
             if on_failure is not None:
                 self.sim.schedule(delay, on_failure, frame)
             return
@@ -424,11 +445,15 @@ class World:
             return []
         self.stats.record_send(frame)
         self._charge_tx(frame)
+        if self.obs.enabled:
+            self.obs.frame_sent(frame)
         receivers = []
         delay = self.radio.transfer_delay(frame.size_bytes)
         for other in self.neighbors(frame.src):
             if self._lossy():
                 self.stats.drops += 1
+                if self.obs.enabled:
+                    self.obs.frame_dropped(frame, "loss")
                 continue
             receivers.append(other)
             self.sim.schedule(delay, self._deliver_broadcast, other, frame)
@@ -443,6 +468,8 @@ class World:
             or frozenset((frame.src, node)) in self._blackouts
         ):
             self.stats.drops += 1
+            if self.obs.enabled:
+                self.obs.frame_dropped(frame, "fault")
             return
         self._deliver_to(node, frame)
 
@@ -451,6 +478,8 @@ class World:
         # of range, crashed, or had its link blacked out mid-flight.
         if not self.can_communicate(frame.src, frame.dst):
             self.stats.drops += 1
+            if self.obs.enabled:
+                self.obs.frame_dropped(frame, "moved")
             if on_failure is not None:
                 on_failure(frame)
             return
@@ -461,6 +490,8 @@ class World:
         meter = self.energy_meters.get(node)
         if meter is not None:
             meter.on_receive(frame.size_bytes)
+        if self.obs.enabled:
+            self.obs.frame_delivered(frame, node)
         self._nodes[node].on_frame(frame, frame.src)
 
     def _charge_tx(self, frame: Frame) -> None:

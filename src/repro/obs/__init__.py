@@ -1,0 +1,119 @@
+"""Observability layer: query-lifecycle tracing, metrics, profiling.
+
+``repro.obs`` is the substrate every perf/robustness change reports
+through:
+
+* :class:`Observer` — span-based tracing of every ``(id, cnt)`` query
+  through issue, per-hop forwarding, local-skyline evaluation, filter
+  promotion, result merge / ACK / retransmission, and final delivery,
+  with simulation *and* wall time plus fault annotations.
+* :class:`MetricsRegistry` — named counters / gauges / histograms with
+  a true no-op default (:data:`NULL_REGISTRY`), unifying the view over
+  the legacy ``TrafficStats`` / ``ComparisonCounter`` / ``AccessStats``
+  families.
+* Exporters — JSONL event dumps, Chrome trace-event / Perfetto JSON
+  timelines, and per-query text summaries.
+* :class:`PhaseProfiler` — wall-time attribution across protocol
+  phases, in the ``BENCH_*.json`` gate shape.
+
+Enable per run by passing an observer to
+:func:`~repro.protocol.coordinator.run_manet_simulation`, per process
+with :func:`configure_telemetry` (the CLI's ``--obs`` flag), or via the
+``REPRO_OBS`` environment variable (a directory for per-run telemetry;
+``off`` / empty disables). The off path is guard-only — see
+``docs/observability.md`` for the overhead contract.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from .exporters import (
+    SpanNode,
+    build_query_trees,
+    export_chrome_trace,
+    export_jsonl,
+    query_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .observer import (
+    NULL_OBSERVER,
+    EventRecord,
+    NullObserver,
+    Observer,
+    SpanRecord,
+    query_key_of,
+)
+from .profiler import PHASE_SCHEMA, PhaseProfiler
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NULL_REGISTRY",
+    "NullObserver",
+    "NullRegistry",
+    "Observer",
+    "PHASE_SCHEMA",
+    "PhaseProfiler",
+    "SpanNode",
+    "SpanRecord",
+    "build_query_trees",
+    "configure_telemetry",
+    "export_chrome_trace",
+    "export_jsonl",
+    "query_key_of",
+    "query_summary",
+    "telemetry_root",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+_OBS_ENV = "REPRO_OBS"
+_DISABLED = ("", "off", "none", "0")
+
+#: Process-wide override set by :func:`configure_telemetry` (CLI beats env).
+_telemetry_override: Optional[str] = None
+
+
+def configure_telemetry(directory: Optional[str]) -> None:
+    """Set the process-wide telemetry directory (the ``--obs`` flag).
+
+    ``"off"`` disables telemetry even if ``REPRO_OBS`` is set; ``None``
+    leaves the current setting untouched.
+    """
+    global _telemetry_override
+    if directory is not None:
+        _telemetry_override = directory
+
+
+def telemetry_root() -> Optional[Path]:
+    """Effective telemetry directory, or None when telemetry is off.
+
+    Resolution: :func:`configure_telemetry` override, then the
+    ``REPRO_OBS`` environment variable. Experiment sweeps write one
+    trace + metrics document per computed run under this directory,
+    next to their cached results.
+    """
+    raw = (
+        _telemetry_override
+        if _telemetry_override is not None
+        else os.environ.get(_OBS_ENV)
+    )
+    if raw is None or raw.strip().lower() in _DISABLED:
+        return None
+    return Path(raw)

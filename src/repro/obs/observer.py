@@ -1,0 +1,520 @@
+"""Span-based query-lifecycle observer.
+
+One :class:`Observer` watches one simulation run. Protocol code reports
+milestones through domain-specific hooks (``query_issued``,
+``local_eval``, ``frame_sent`` ...); the observer turns them into a
+flat, append-only stream of :class:`SpanRecord` and :class:`EventRecord`
+entries carrying both simulation time and wall time. Span *trees* are a
+read-side construct: every record carries its query key ``(origin,
+cnt)``, so per-query trees are assembled on demand (see
+:func:`~repro.obs.exporters.build_query_trees`).
+
+The contract that makes observability safe to leave wired into the
+protocol stack permanently:
+
+* **Passive** — the observer never schedules simulation events, never
+  consumes randomness, and never mutates protocol state, so an observed
+  run is bit-identical to an unobserved one (results, counters,
+  ``AccessStats``, fault traces — pinned by ``tests/test_obs.py``).
+* **Cheap when off** — the default world observer is
+  :data:`NULL_OBSERVER`, whose ``enabled`` is False; every
+  instrumentation site is guarded by that flag, so the off path costs
+  one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry, NULL_REGISTRY
+
+if TYPE_CHECKING:  # import kept type-only: net.world imports this module
+    from ..net.messages import Frame
+
+__all__ = [
+    "SpanRecord",
+    "EventRecord",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "query_key_of",
+]
+
+QueryKey = Tuple[int, int]
+
+
+@dataclass
+class SpanRecord:
+    """One timed interval in a query's lifecycle.
+
+    Attributes:
+        sid: Span id, unique within one observer.
+        parent: Enclosing span's sid (None for roots).
+        name: Phase name (``query``, ``local-eval``, ``hop`` ...).
+        cat: Coarse category used by the phase profiler (``protocol``,
+            ``net``, ``core`` ...).
+        query: ``(origin, cnt)`` key, or None for non-query spans.
+        node: Device the span executed on, or None.
+        t0: Simulation time the span opened.
+        t1: Simulation time it closed (None while open).
+        wall0: ``perf_counter`` at open.
+        wall1: ``perf_counter`` at close (None while open).
+        attrs: Free-form annotations (tuple counts, bytes, fault notes).
+    """
+
+    sid: int
+    parent: Optional[int]
+    name: str
+    cat: str
+    query: Optional[QueryKey]
+    node: Optional[int]
+    t0: float
+    t1: Optional[float] = None
+    wall0: float = 0.0
+    wall1: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        """Simulated seconds the span covered (None while open)."""
+        return None if self.t1 is None else self.t1 - self.t0
+
+    @property
+    def wall_duration(self) -> Optional[float]:
+        """Wall-clock seconds spent inside the span (None while open)."""
+        return None if self.wall1 is None else self.wall1 - self.wall0
+
+
+@dataclass
+class EventRecord:
+    """One instantaneous milestone."""
+
+    name: str
+    time: float
+    query: Optional[QueryKey] = None
+    node: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+def query_key_of(payload: Any) -> Optional[QueryKey]:
+    """Extract the ``(origin, cnt)`` key a frame payload belongs to.
+
+    Understands the skyline protocol messages (query / result / token /
+    ack) and routed :class:`~repro.net.aodv.DataPacket` wrappers; AODV
+    control payloads yield None.
+    """
+    # DataPacket wraps the protocol payload one level deep.
+    inner = getattr(payload, "payload", None)
+    if inner is not None and not isinstance(payload, (dict, tuple)):
+        kind = getattr(payload, "kind", None)
+        if kind is not None and hasattr(payload, "dest"):
+            payload = inner
+    query = getattr(payload, "query", None)
+    if query is not None:
+        key = getattr(query, "key", None)
+        if key is not None:
+            return key
+    key = getattr(payload, "query_key", None)
+    if key is not None:
+        return key
+    return None
+
+
+class Observer:
+    """Records the lifecycle of every query in one simulation run."""
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._next_sid = 0
+        self._open: Dict[int, SpanRecord] = {}
+        self._query_roots: Dict[QueryKey, int] = {}
+        self._hop_spans: Dict[int, int] = {}  # frame_id -> sid
+        self._world = None
+        self.faults: List[EventRecord] = []
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, world) -> "Observer":
+        """Attach to ``world``: future records read its clock, and the
+        world's instrumentation sites start reporting here."""
+        self._world = world
+        world.obs = self
+        return self
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (0.0 before binding)."""
+        return self._world.sim.now if self._world is not None else 0.0
+
+    # -- generic span/event API ---------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "protocol",
+        query: Optional[QueryKey] = None,
+        node: Optional[int] = None,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Open a span at the current sim time; returns its sid."""
+        sid = self._next_sid
+        self._next_sid += 1
+        if parent is None and query is not None:
+            parent = self._query_roots.get(query)
+        span = SpanRecord(
+            sid=sid,
+            parent=parent,
+            name=name,
+            cat=cat,
+            query=query,
+            node=node,
+            t0=self.now,
+            wall0=time.perf_counter(),
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._open[sid] = span
+        return sid
+
+    def end(self, sid: int, t: Optional[float] = None, **attrs: Any) -> None:
+        """Close a span. ``t`` overrides the sim end time — used for
+        modelled intervals whose duration is known analytically (e.g. a
+        local evaluation's device processing delay)."""
+        span = self._open.pop(sid, None)
+        if span is None:
+            return
+        span.t1 = self.now if t is None else t
+        span.wall1 = time.perf_counter()
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(
+        self,
+        name: str,
+        query: Optional[QueryKey] = None,
+        node: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record an instantaneous milestone at the current sim time."""
+        self.events.append(
+            EventRecord(name=name, time=self.now, query=query, node=node,
+                        attrs=attrs)
+        )
+
+    # -- query lifecycle hooks ------------------------------------------------
+
+    def query_issued(
+        self, query: QueryKey, node: int, **attrs: Any
+    ) -> int:
+        """Open the root span for a freshly issued query."""
+        sid = self.begin("query", cat="protocol", query=query, node=node,
+                         **attrs)
+        self._query_roots[query] = sid
+        self.metrics.counter("protocol.queries.issued").inc()
+        return sid
+
+    def query_alias(self, new_key: QueryKey, root_key: QueryKey) -> None:
+        """Map a re-issued DF query key onto its root query's span tree."""
+        sid = self._query_roots.get(root_key)
+        if sid is not None:
+            self._query_roots[new_key] = sid
+        self.event("token.reissue", query=root_key,
+                   new_cnt=new_key[1])
+        self.metrics.counter("protocol.token.reissues").inc()
+
+    def query_completed(self, query: QueryKey, node: int, **attrs: Any) -> None:
+        """Mark the strategy's completion condition on the root span."""
+        sid = self._query_roots.get(query)
+        if sid is not None:
+            span = self._open.get(sid)
+            if span is not None:
+                span.attrs["completion_time"] = self.now
+                span.attrs.update(attrs)
+        self.event("query.completed", query=query, node=node, **attrs)
+        self.metrics.counter("protocol.queries.completed").inc()
+
+    def query_closed(self, query: QueryKey, **attrs: Any) -> None:
+        """Close the root span (timeout or strategy closure)."""
+        sid = self._query_roots.get(query)
+        if sid is not None:
+            self.end(sid, **attrs)
+
+    def local_eval(
+        self,
+        query: Optional[QueryKey],
+        node: int,
+        result,
+        delay: float,
+        wall_s: float,
+    ) -> None:
+        """Record one local-skyline evaluation as a closed span.
+
+        The sim-time interval is ``[now, now + delay]`` — the modelled
+        device processing time the protocol actually waits before acting
+        on the result — while ``wall_s`` is the real compute cost.
+        """
+        now = self.now
+        wall1 = time.perf_counter()
+        sid = self._next_sid
+        self._next_sid += 1
+        span = SpanRecord(
+            sid=sid,
+            parent=self._query_roots.get(query) if query is not None else None,
+            name="local-eval",
+            cat="core",
+            query=query,
+            node=node,
+            t0=now,
+            t1=now + delay,
+            wall0=wall1 - wall_s,
+            wall1=wall1,
+            attrs={
+                "scanned": result.scanned,
+                "in_range": result.in_range,
+                "unreduced": result.unreduced_size,
+                "reduced": result.reduced_size,
+                "skipped": result.skipped,
+                "comparisons": result.comparisons.as_tuple(),
+            },
+        )
+        self.spans.append(span)
+        m = self.metrics
+        m.counter("core.local.evaluations").inc()
+        m.counter("core.local.scanned").inc(result.scanned)
+        m.counter("core.local.in_range").inc(result.in_range)
+        m.counter("core.local.reduced").inc(result.reduced_size)
+        if result.skipped is not None:
+            m.counter(f"core.local.skips.{result.skipped}").inc()
+        m.histogram("core.local.wall_s").observe(wall_s)
+        m.histogram("core.local.delay_s").observe(delay)
+
+    def filter_promoted(
+        self, query: Optional[QueryKey], node: int, vdr: float
+    ) -> None:
+        """A device replaced the in-flight filtering tuple with its own."""
+        self.event("filter.promoted", query=query, node=node, vdr=vdr)
+        self.metrics.counter("protocol.filter.promotions").inc()
+
+    def result_merged(
+        self, query: QueryKey, node: int, sender: int, tuples: int
+    ) -> None:
+        """The originator merged one device's contribution."""
+        self.event("result.merged", query=query, node=node, sender=sender,
+                   tuples=tuples)
+        self.metrics.counter("protocol.results.merged").inc()
+
+    # -- frame-level hooks (called by World) ----------------------------------
+
+    def frame_sent(self, frame: Frame) -> None:
+        """A frame hit the air; unicast frames open a hop span."""
+        key = query_key_of(frame.payload)
+        m = self.metrics
+        m.counter("net.tx.frames").inc()
+        m.counter(f"net.tx.{frame.kind}").inc()
+        m.counter("net.tx.bytes").inc(frame.size_bytes)
+        if frame.dst is None:
+            # Broadcasts fan out to many receivers; model the send as an
+            # instant event, deliveries as events referencing frame_id.
+            self.event("frame.broadcast", query=key, node=frame.src,
+                       frame=frame.kind, frame_id=frame.frame_id,
+                       bytes=frame.size_bytes)
+            return
+        sid = self.begin(
+            "hop", cat="net", query=key, node=frame.src,
+            frame=frame.kind, frame_id=frame.frame_id, src=frame.src,
+            dst=frame.dst, bytes=frame.size_bytes,
+        )
+        self._hop_spans[frame.frame_id] = sid
+
+    def frame_delivered(self, frame: Frame, node: int) -> None:
+        """A frame arrived at ``node``; closes the hop span (unicast)."""
+        self.metrics.counter("net.rx.frames").inc()
+        sid = self._hop_spans.pop(frame.frame_id, None)
+        if sid is not None:
+            self.end(sid, outcome="delivered")
+        else:
+            self.event("frame.heard", query=query_key_of(frame.payload),
+                       node=node, frame=frame.kind, frame_id=frame.frame_id)
+
+    def frame_dropped(self, frame: Frame, reason: str) -> None:
+        """A frame was lost (``reason``: no-link / loss / moved / fault)."""
+        self.metrics.counter("net.drops").inc()
+        self.metrics.counter(f"net.drops.{reason}").inc()
+        sid = self._hop_spans.pop(frame.frame_id, None)
+        if sid is not None:
+            self.end(sid, outcome="dropped", reason=reason)
+        else:
+            self.event("frame.dropped", query=query_key_of(frame.payload),
+                       node=frame.dst, frame=frame.kind,
+                       frame_id=frame.frame_id, reason=reason)
+
+    # -- fault hooks -----------------------------------------------------------
+
+    def fault(self, kind: str, node: Optional[int] = None,
+              link: Optional[Tuple[int, int]] = None,
+              **attrs: Any) -> None:
+        """A fault transition was applied to the world.
+
+        Recorded both in the main event stream and in :attr:`faults`, so
+        exporters can annotate every query span the fault overlaps.
+        """
+        record = EventRecord(
+            name=f"fault.{kind}", time=self.now, node=node,
+            attrs=dict(attrs, link=link),
+        )
+        self.events.append(record)
+        self.faults.append(record)
+        self.metrics.counter(f"faults.{kind}").inc()
+
+    def query_aborted_by_crash(self, query: QueryKey, node: int) -> None:
+        """The originator crashed with this query still in flight."""
+        sid = self._query_roots.get(query)
+        if sid is not None:
+            span = self._open.get(sid)
+            if span is not None:
+                span.attrs["aborted_by_crash"] = True
+        self.event("query.aborted-by-crash", query=query, node=node)
+        self.metrics.counter("protocol.queries.aborted_by_crash").inc()
+
+    # -- finalization ----------------------------------------------------------
+
+    def finalize(self, result=None) -> None:
+        """Close every still-open span at the final sim time and fold
+        the run's legacy counter families into named instruments.
+
+        ``result`` is an optional
+        :class:`~repro.protocol.coordinator.SimulationResult`; its
+        :class:`~repro.net.world.TrafficStats` and energy totals become
+        ``net.final.*`` / ``sim.*`` gauges so one registry snapshot
+        carries the whole run.
+        """
+        for sid in list(self._open):
+            self.end(sid, outcome="unfinished")
+        if result is None:
+            return
+        g = self.metrics.gauge
+        stats = result.traffic
+        g("net.final.transmissions").set(stats.transmissions)
+        g("net.final.deliveries").set(stats.deliveries)
+        g("net.final.drops").set(stats.drops)
+        g("net.final.bytes_sent").set(stats.bytes_sent)
+        g("net.final.protocol_messages").set(stats.protocol_messages())
+        g("net.final.control_messages").set(stats.control_messages())
+        g("sim.events").set(result.events)
+        g("sim.time").set(result.sim_time)
+        g("sim.devices").set(result.devices)
+        g("sim.queries.issued").set(result.issued)
+        g("sim.queries.suppressed").set(result.suppressed)
+        g("sim.energy_joules").set(result.total_energy)
+
+    # -- inspection ------------------------------------------------------------
+
+    def query_keys(self) -> List[QueryKey]:
+        """Root query keys observed, in issue order (aliases excluded)."""
+        seen = []
+        roots = set()
+        for span in self.spans:
+            if span.name == "query" and span.sid not in roots:
+                roots.add(span.sid)
+                seen.append(span.query)
+        return seen
+
+    def spans_for(self, query: QueryKey) -> List[SpanRecord]:
+        """Every span belonging to ``query`` (root included), in open order."""
+        root_sid = self._query_roots.get(query)
+        return [
+            s for s in self.spans
+            if s.query == query or (root_sid is not None and s.sid == root_sid)
+        ]
+
+    def events_for(self, query: QueryKey) -> List[EventRecord]:
+        """Every instant event belonging to ``query``, in record order."""
+        return [e for e in self.events if e.query == query]
+
+    def faults_during(self, t0: float, t1: float) -> List[EventRecord]:
+        """Fault transitions applied inside ``[t0, t1]``."""
+        return [f for f in self.faults if t0 <= f.time <= t1]
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)
+
+
+class NullObserver:
+    """The default observer: absorbs every hook at near-zero cost.
+
+    Every instrumentation site guards on :attr:`enabled`, so in the
+    common case none of these methods is even called; they exist so
+    unguarded calls (cold paths, tests) stay safe.
+    """
+
+    enabled = False
+    metrics = NULL_REGISTRY
+    spans: List[SpanRecord] = []
+    events: List[EventRecord] = []
+    faults: List[EventRecord] = []
+
+    def bind(self, world) -> "NullObserver":
+        world.obs = self
+        return self
+
+    def begin(self, *args, **kwargs) -> int:
+        return -1
+
+    def end(self, *args, **kwargs) -> None:
+        pass
+
+    def event(self, *args, **kwargs) -> None:
+        pass
+
+    def query_issued(self, *args, **kwargs) -> int:
+        return -1
+
+    def query_alias(self, *args, **kwargs) -> None:
+        pass
+
+    def query_completed(self, *args, **kwargs) -> None:
+        pass
+
+    def query_closed(self, *args, **kwargs) -> None:
+        pass
+
+    def local_eval(self, *args, **kwargs) -> None:
+        pass
+
+    def filter_promoted(self, *args, **kwargs) -> None:
+        pass
+
+    def result_merged(self, *args, **kwargs) -> None:
+        pass
+
+    def frame_sent(self, *args, **kwargs) -> None:
+        pass
+
+    def frame_delivered(self, *args, **kwargs) -> None:
+        pass
+
+    def frame_dropped(self, *args, **kwargs) -> None:
+        pass
+
+    def fault(self, *args, **kwargs) -> None:
+        pass
+
+    def query_aborted_by_crash(self, *args, **kwargs) -> None:
+        pass
+
+    def finalize(self, result=None) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Process-wide shared no-op observer — the default ``World.obs``.
+NULL_OBSERVER = NullObserver()

@@ -1,0 +1,108 @@
+"""Phase profiler: wall-time attribution across protocol phases.
+
+Two complementary sources feed one report:
+
+* **Coarse run phases** — :meth:`PhaseProfiler.phase` is a context
+  manager the coordinator (and any benchmark) wraps around build /
+  simulate / collect stages; nested phases attribute time to the
+  innermost frame, so totals sum to elapsed wall time without double
+  counting.
+* **Span-derived phases** — :meth:`PhaseProfiler.add_spans` folds an
+  observer's span wall times in, keyed ``<cat>.<name>`` (e.g.
+  ``core.local-eval``), which breaks a run's simulate phase down by
+  protocol activity.
+
+:meth:`PhaseProfiler.to_bench_json` emits the same shape the
+``BENCH_*.json`` gates consume (a ``schema`` tag plus a flat
+``phases`` mapping), so ``benchmarks/report.py`` can fold profiler
+output into the trend table alongside the microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = ["PhaseProfiler", "PHASE_SCHEMA"]
+
+PHASE_SCHEMA = "bench_obs_phases/v1"
+
+
+class PhaseProfiler:
+    """Accumulates exclusive wall time per named phase."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._stack: List[List] = []  # [name, started, child_time]
+
+    # -- coarse phases -------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute the wall time inside the block to ``name``.
+
+        Exclusive semantics: time spent in a nested phase is charged to
+        the nested phase only, so a report's totals are additive.
+        """
+        frame = [name, time.perf_counter(), 0.0]
+        self._stack.append(frame)
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - frame[1]
+            self._stack.pop()
+            self._add(name, elapsed - frame[2])
+            if self._stack:
+                self._stack[-1][2] += elapsed
+
+    def _add(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + max(0.0, seconds)
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    # -- span-derived phases -------------------------------------------------
+
+    def add_spans(self, observer) -> None:
+        """Fold an observer's closed spans in, keyed ``<cat>.<name>``."""
+        for span in observer.spans:
+            wall = span.wall_duration
+            if wall is not None:
+                self._add(f"{span.cat}.{span.name}", wall)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {"wall_s": total, "count": n}}``, sorted by name."""
+        return {
+            name: {"wall_s": self._totals[name], "count": self._counts[name]}
+            for name in sorted(self._totals)
+        }
+
+    @property
+    def total_wall_s(self) -> float:
+        """Sum of all attributed wall time."""
+        return sum(self._totals.values())
+
+    def to_bench_json(self, smoke: Optional[bool] = None) -> Dict:
+        """BENCH-gate-shaped document (``schema`` + flat ``phases``)."""
+        doc = {"schema": PHASE_SCHEMA, "phases": self.report(),
+               "total_wall_s": self.total_wall_s}
+        if smoke is not None:
+            doc["smoke"] = smoke
+        return doc
+
+    def render(self) -> str:
+        """Text table sorted by descending wall time."""
+        if not self._totals:
+            return "(no phases recorded)"
+        total = self.total_wall_s or 1.0
+        rows = sorted(self._totals.items(), key=lambda kv: -kv[1])
+        lines = [f"{'phase':<28} {'wall_s':>10} {'share':>7} {'count':>8}"]
+        for name, seconds in rows:
+            lines.append(
+                f"{name:<28} {seconds:>10.4f} {seconds / total:>6.1%} "
+                f"{self._counts[name]:>8}"
+            )
+        lines.append(f"{'total':<28} {self.total_wall_s:>10.4f}")
+        return "\n".join(lines)

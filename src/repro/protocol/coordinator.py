@@ -22,6 +22,7 @@ from ..net.mobility import (
     RandomWaypoint,
 )
 from ..net.world import RadioConfig, TrafficStats, World
+from ..obs.observer import Observer
 from .device import BFDevice, DFDevice, ProtocolConfig, QueryRecord, SkylineDevice
 
 __all__ = ["SimulationConfig", "SimulationResult", "run_manet_simulation",
@@ -145,6 +146,7 @@ def run_manet_simulation(
     config: SimulationConfig,
     mobility: Optional[MobilityModel] = None,
     max_events: Optional[int] = None,
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """Run a full MANET experiment.
 
@@ -156,12 +158,18 @@ def run_manet_simulation(
         mobility: Override the default random-waypoint model (e.g. a
             :class:`~repro.net.mobility.StaticPlacement` for debugging).
         max_events: Safety valve for tests.
+        observer: Optional :class:`~repro.obs.observer.Observer` bound to
+            the run's world; it records query spans and metrics and is
+            finalized against the result before returning. Observation
+            is passive — the run is bit-identical with or without it.
 
     Returns:
         A :class:`SimulationResult` with every query record and the
         global traffic statistics.
     """
     sim, world, devices = build_network(dataset, config, mobility)
+    if observer is not None:
+        observer.bind(world)
     injector: Optional[FaultInjector] = None
     if config.faults is not None:
         injector = FaultInjector(config.faults).install(world)
@@ -191,7 +199,7 @@ def run_manet_simulation(
     for device in devices:
         records.extend(device.records.values())
     records.sort(key=lambda r: r.issue_time)
-    return SimulationResult(
+    result = SimulationResult(
         records=records,
         traffic=world.stats,
         devices=dataset.devices,
@@ -204,3 +212,6 @@ def run_manet_simulation(
             injector.applied_signature() if injector is not None else ()
         ),
     )
+    if observer is not None:
+        observer.finalize(result)
+    return result

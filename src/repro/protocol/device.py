@@ -20,6 +20,7 @@ two concrete subclasses implement the paper's forwarding strategies
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -297,6 +298,10 @@ class SkylineDevice(Node):
             record = self.records.get(self._active_key)
             if record is not None:
                 record.aborted_by_crash = True
+                if self.world.obs.enabled:
+                    self.world.obs.query_aborted_by_crash(
+                        self._active_key, self.node_id
+                    )
             self._close_query(self._active_key)
 
     def on_recover(self) -> None:
@@ -314,6 +319,8 @@ class SkylineDevice(Node):
         self, query: SkylineQuery, flt: Optional[FilteringTuple]
     ) -> LocalSkylineResult:
         """Run the Figure 4 local skyline with this device's processor."""
+        obs = self.world.obs
+        wall0 = time.perf_counter() if obs.enabled else 0.0
         if self._storage is not None:
             result = local_skyline(
                 self._storage, query, flt,
@@ -327,7 +334,13 @@ class SkylineDevice(Node):
                 estimation=self.config.estimation,
                 over_margin=self.config.over_margin,
             )
-        self.meter.on_compute(self.processing_delay(result))
+        delay = self.processing_delay(result)
+        self.meter.on_compute(delay)
+        if obs.enabled:
+            obs.local_eval(
+                query.key, self.node_id, result, delay,
+                time.perf_counter() - wall0,
+            )
         return result
 
     def _make_assembler(self, initial: Optional[Relation]) -> SkylineAssembler:
@@ -419,6 +432,11 @@ class SkylineDevice(Node):
         )
         self.records[query.key] = record
         self._active_key = query.key
+        if self.world.obs.enabled:
+            self.world.obs.query_issued(
+                query.key, self.node_id, d=d,
+                reachable=len(record.reachable_at_issue),
+            )
         self.sim.schedule(self.config.query_timeout, self._close_query, query.key)
         return record, local, flt
 
@@ -427,6 +445,8 @@ class SkylineDevice(Node):
         if record is None or record.closed:
             return
         record.closed = True
+        if self.world.obs.enabled:
+            self.world.obs.query_closed(key)
         if self._active_key == key:
             self._active_key = None
 
@@ -442,6 +462,8 @@ class SkylineDevice(Node):
             return
         if record.completion_time is None:
             record.completion_time = self.sim.now
+            if self.world.obs.enabled:
+                self.world.obs.query_completed(key, self.node_id)
         if close:
             self._close_query(key)
         elif self._active_key == key:
@@ -525,6 +547,14 @@ class BFDevice(SkylineDevice):
         out_flt = message.flt
         if self.config.use_filter and self.config.dynamic_filter:
             out_flt = result.updated_filter
+            if (
+                out_flt is not None
+                and out_flt is not message.flt
+                and self.world.obs.enabled
+            ):
+                self.world.obs.filter_promoted(
+                    message.query.key, self.node_id, out_flt.vdr
+                )
         forwarded = QueryMessage(
             query=message.query, flt=out_flt, hops=message.hops + 1
         )
@@ -556,13 +586,24 @@ class BFDevice(SkylineDevice):
             del self._pending_results[key]
             return
         pending.attempts += 1
+        obs = self.world.obs
+        if obs.enabled:
+            obs.event("result.retransmit", query=key, node=self.node_id,
+                      attempt=pending.attempts)
+            obs.metrics.counter("protocol.results.retransmits").inc()
         self._send_result(pending.reply, pending.origin)
         self._arm_result_retry(key, pending)
 
     def _on_result_ack(self, ack: ResultAckMessage) -> None:
         pending = self._pending_results.pop(ack.query_key, None)
-        if pending is not None and pending.timer is not None:
+        if pending is None:
+            return
+        if pending.timer is not None:
             pending.timer.cancel()
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "result.acked", query=ack.query_key, node=self.node_id
+            )
 
     def on_crash(self) -> None:
         for pending in self._pending_results.values():
@@ -608,6 +649,11 @@ class BFDevice(SkylineDevice):
             arrival_time=self.sim.now,
         )
         record.assembler.add(reply.skyline)
+        if self.world.obs.enabled:
+            self.world.obs.result_merged(
+                reply.query_key, self.node_id, reply.sender,
+                reply.skyline.cardinality,
+            )
         # The paper's completion rule: a quorum (80%) of the other
         # devices have sent results back.
         others = len(self.world.node_ids) - 1
@@ -692,6 +738,8 @@ class DFDevice(SkylineDevice):
         seeded with everything merged so far."""
         query = replace(record.query, cnt=self.query_counter.next_value())
         self._reissue_alias[query.key] = record.query.key
+        if self.world.obs.enabled:
+            self.world.obs.query_alias(query.key, record.query.key)
         self.query_log.record(query)
         merged = record.assembler.result()
         flt = None
@@ -751,6 +799,11 @@ class DFDevice(SkylineDevice):
         self._receive_token(packet.payload, packet.source)
 
     def _receive_token(self, token: TokenMessage, sender: int) -> None:
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "token.received", query=token.query.key, node=self.node_id,
+                sender=sender, visited=len(token.visited),
+            )
         if token.query.origin == self.node_id:
             self._last_token_activity = self.sim.now
             self._token_home(token)
@@ -847,6 +900,11 @@ class DFDevice(SkylineDevice):
             # the originator's watchdog / timeout recovers the query.
             return
         parent = token.path[-1]
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "token.backtrack", query=token.query.key, node=self.node_id,
+                to=parent, depth=len(token.path),
+            )
         returned = TokenMessage(
             query=token.query,
             flt=token.flt,
@@ -880,6 +938,13 @@ class DFDevice(SkylineDevice):
         record = self.records.get(self._resolve_key(token.query.key))
         if record is None or record.closed:
             return
+        obs = self.world.obs
+        if obs.enabled:
+            obs.event(
+                "token.home", query=record.query.key, node=self.node_id,
+                visited=len(token.visited),
+                contributions=len(token.contributions),
+            )
         for device, unreduced, reduced in token.contributions:
             if device not in record.contributions:
                 record.contributions[device] = DeviceContribution(
@@ -890,6 +955,10 @@ class DFDevice(SkylineDevice):
                     processing_time=0.0,
                     arrival_time=self.sim.now,
                 )
+                if obs.enabled:
+                    obs.result_merged(
+                        record.query.key, self.node_id, device, reduced
+                    )
         record.assembler.add(token.result)
         token = TokenMessage(
             query=token.query,

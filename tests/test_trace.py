@@ -116,3 +116,50 @@ class TestTracer:
         sim.run()
         assert world.stats.transmissions == 1
         assert world.stats.deliveries == 1
+
+    def test_uninstall_restores_world_paths(self):
+        sim, world, _ = make_world()
+        record_before = world.stats.record_send
+        deliver_before = world._deliver_to
+        tracer = Tracer().install(world)
+        assert world.stats.record_send != record_before
+        tracer.uninstall()
+        assert world.stats.record_send == record_before
+        assert world._deliver_to == deliver_before
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        assert len(tracer) == 0  # no longer recording
+        assert world.stats.transmissions == 1  # accounting intact
+
+    def test_uninstall_keeps_events_and_allows_reinstall(self):
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        recorded = len(tracer)
+        assert recorded > 0
+        tracer.uninstall()
+        tracer.install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        assert len(tracer) > recorded
+
+    def test_uninstall_without_install_rejected(self):
+        with pytest.raises(RuntimeError):
+            Tracer().uninstall()
+
+    def test_capacity_eviction_is_oldest_first(self):
+        sim, world, _ = make_world()
+        tracer = Tracer(capacity=2).install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        world.send(Frame(kind=FrameKind.TOKEN, src=0, dst=1))
+        sim.run()
+        # both sends record before either delivery; the ring keeps only
+        # the two newest events (the deliveries)
+        assert [e.kind for e in tracer.events] == [
+            "frame-delivered", "frame-delivered"
+        ]
+        assert [e.detail["frame"] for e in tracer.events] == [
+            "result", "token"
+        ]
+        assert tracer.dropped_events == 2
