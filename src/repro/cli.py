@@ -80,11 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_FIGURES) + ["trace"],
+        choices=sorted(_FIGURES) + ["trace", "chaos"],
         help=(
             "which figure (or figure group) to regenerate; 'trace' runs "
             "one observed simulation per strategy and prints its "
-            "query-lifecycle summary"
+            "query-lifecycle summary; 'chaos' runs the seeded fault "
+            "harness and checks the resilience invariants"
         ),
     )
     parser.add_argument(
@@ -136,6 +137,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="strategies for the 'trace' command (default: both)",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "for the 'chaos' command: run only the 5 pinned smoke seeds "
+            "(the CI tier) instead of --seeds randomized ones"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        metavar="N",
+        help=(
+            "for the 'chaos' command: number of chaos seeds to sweep "
+            "(default: 50; each seed runs once per strategy)"
+        ),
+    )
+    parser.add_argument(
+        "--seed-base",
+        type=int,
+        default=100,
+        metavar="S",
+        help="for the 'chaos' command: first chaos seed (default: 100)",
+    )
+    parser.add_argument(
         "--local-path",
         choices=LOCAL_PATHS,
         help=(
@@ -172,6 +198,31 @@ def _run_trace(args, scale) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    """The ``chaos`` command: seeded fault harness + invariant suite."""
+    from .experiments.chaos_sweep import SMOKE_SEEDS, chaos_suite
+
+    if args.smoke:
+        seeds = list(SMOKE_SEEDS)
+    else:
+        if args.seeds < 1:
+            print("error: --seeds must be >= 1", file=sys.stderr)
+            return 2
+        seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    strategies = ("bf", "df") if args.strategy == "both" else (args.strategy,)
+    start = time.time()
+    report = chaos_suite(seeds, strategies=strategies, progress=20)
+    print(report.render())
+    print(f"  [{time.time() - start:.1f}s]")
+    if not report.ok:
+        print()
+        print("invariant violations:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro`` / ``repro-skyline``."""
     args = build_parser().parse_args(argv)
@@ -184,6 +235,8 @@ def main(argv=None) -> int:
         from .obs import configure_telemetry
 
         configure_telemetry(args.obs)
+    if args.figure == "chaos":
+        return _run_chaos(args)
     scale = ex.get_scale(args.scale)
     if args.figure == "trace":
         return _run_trace(args, scale)

@@ -1,5 +1,11 @@
 """Experiment harness: one module per figure family of Section 5."""
 
+from .chaos_sweep import (
+    ChaosPoint,
+    ChaosReport,
+    chaos_suite,
+    run_chaos_point,
+)
 from .config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
 from .executor import RunCache, configure, resolve_workers, run_points
 from .fault_sweep import fault_churn_sweep, fault_loss_sweep, run_fault_point
@@ -39,6 +45,8 @@ from .static_drr import (
 )
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosReport",
     "DEFAULT",
     "ExperimentScale",
     "FigureResult",
@@ -50,6 +58,7 @@ __all__ = [
     "ascii_plot",
     "clear_run_cache",
     "configure",
+    "chaos_suite",
     "cpu_sweep",
     "fault_churn_sweep",
     "fault_loss_sweep",
@@ -83,6 +92,7 @@ __all__ = [
     "render_table",
     "resolve_workers",
     "run_fault_point",
+    "run_chaos_point",
     "run_manet_point",
     "run_points",
     "speed_sweep",

@@ -1,0 +1,259 @@
+"""Seeded chaos harness: randomized faults vs. property invariants.
+
+The resilience layer (``repro.resilience``) promises graceful
+degradation — every query closes by its deadline with an exact
+accounting of where every device's contribution went, retransmission
+budgets hold, and nothing leaks into the engine heap. Those are
+*properties*, not example-based expectations, so this harness checks
+them the property-based way: draw a randomized-but-seeded fault
+schedule (crashes, link blackouts, loss bursts, partitions, message
+duplication, delay jitter — all six families at once), run a full
+MANET simulation through it, and assert every invariant in
+:mod:`repro.resilience.invariants` on the wreckage.
+
+``chaos_suite`` sweeps many seeds across both strategies; the CLI
+(``repro chaos``) and CI's ``chaos-smoke`` job call it with 5 fixed
+seeds, the acceptance run with 50+. Every run is reproducible from its
+seed alone: rerun ``run_chaos_point(seed, strategy)`` to replay a
+failure bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.partition import make_global_dataset
+from ..data.workload import generate_workload
+from ..faults import FaultSchedule
+from ..net.world import RadioConfig
+from ..obs.observer import Observer
+from ..protocol.coordinator import SimulationConfig, run_manet_simulation
+from ..protocol.device import ProtocolConfig
+from ..resilience import ResiliencePolicy
+from ..resilience.invariants import verify_run
+
+__all__ = [
+    "ChaosPoint",
+    "ChaosReport",
+    "chaos_protocol_config",
+    "chaos_suite",
+    "run_chaos_point",
+]
+
+#: Fixed seeds for the CI smoke tier (``repro chaos --smoke``) — chosen
+#: once and pinned so the smoke job exercises the same six-family fault
+#: mix on every run.
+SMOKE_SEEDS: Tuple[int, ...] = (11, 23, 37, 58, 71)
+
+#: Per-query deadline budget (seconds) for chaos runs. Short enough
+#: that the drain window after the last workload entry covers every
+#: outstanding deadline, long enough for a failover flood to land.
+CHAOS_DEADLINE = 60.0
+
+
+def chaos_protocol_config(failover: bool = True) -> ProtocolConfig:
+    """Protocol knobs tightened for fault-heavy short runs.
+
+    Retry budgets are deliberately small so the watchdog exhausts (and
+    DF failover actually triggers) inside the deadline window.
+    """
+    return ProtocolConfig(
+        query_timeout=CHAOS_DEADLINE,
+        ack_timeout=1.5,
+        result_retries=2,
+        token_watchdog=12.0,
+        token_reissues=1,
+        resilience=ResiliencePolicy(
+            deadline=CHAOS_DEADLINE,
+            df_failover=failover,
+            orphan_suppression=True,
+        ),
+    )
+
+
+@dataclass
+class ChaosPoint:
+    """One seeded chaos run, fully accounted."""
+
+    seed: int
+    strategy: str
+    failover: bool
+    violations: List[str]
+    queries: int
+    completed: int
+    deadline_expired: int
+    aborted: int
+    failovers: int
+    coverage: float
+    fault_events: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of a chaos sweep across seeds and strategies."""
+
+    points: List[ChaosPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    @property
+    def violations(self) -> List[str]:
+        out = []
+        for p in self.points:
+            out.extend(
+                f"[seed={p.seed} {p.strategy}"
+                f"{'+failover' if p.failover else ''}] {v}"
+                for v in p.violations
+            )
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"{'seed':>6} {'strategy':>10} {'queries':>8} {'done':>5} "
+            f"{'expired':>8} {'aborted':>8} {'failovers':>10} "
+            f"{'coverage':>9} {'faults':>7} {'ok':>4}"
+        ]
+        for p in self.points:
+            name = p.strategy + ("+fo" if p.failover else "")
+            lines.append(
+                f"{p.seed:>6} {name:>10} {p.queries:>8} {p.completed:>5} "
+                f"{p.deadline_expired:>8} {p.aborted:>8} {p.failovers:>10} "
+                f"{p.coverage:>9.3f} {p.fault_events:>7} "
+                f"{'yes' if p.ok else 'NO':>4}"
+            )
+        total = len(self.points)
+        bad = sum(1 for p in self.points if not p.ok)
+        lines.append(
+            f"-- {total} runs, {total - bad} clean, {bad} with violations"
+        )
+        return "\n".join(lines)
+
+
+def _chaos_faults(seed: int, devices: int, sim_time: float,
+                  extent: Tuple[float, float]) -> FaultSchedule:
+    """All six fault families, drawn from one seed."""
+    return FaultSchedule.generate(
+        node_count=devices,
+        sim_time=sim_time,
+        seed=seed,
+        crash_fraction=0.3,
+        mean_downtime=25.0,
+        link_blackouts=2,
+        mean_blackout=15.0,
+        loss_bursts=2,
+        burst_rate=0.5,
+        mean_burst=10.0,
+        partitions=1,
+        mean_partition=20.0,
+        extent=extent,
+        dup_windows=1,
+        dup_rate=0.3,
+        mean_dup=15.0,
+        jitter_windows=1,
+        jitter_max=0.2,
+        mean_jitter=15.0,
+    )
+
+
+def run_chaos_point(
+    seed: int,
+    strategy: str,
+    failover: bool = True,
+    devices: int = 9,
+    cardinality: int = 900,
+    sim_time: float = 150.0,
+) -> ChaosPoint:
+    """One randomized-fault simulation, checked against every invariant.
+
+    Everything — dataset, workload, mobility, loss process, and the
+    fault schedule — derives from ``seed``, so a failing point replays
+    identically from its seed alone.
+    """
+    dataset = make_global_dataset(
+        cardinality, 2, devices, "independent", seed=seed, value_step=1.0,
+    )
+    workload = generate_workload(
+        devices, sim_time, 250.0, queries_per_device=(1, 2), seed=seed + 1,
+    )
+    x_min, y_min, x_max, y_max = dataset.schema.spatial_extent
+    faults = _chaos_faults(
+        seed + 2, devices, sim_time, extent=(x_max - x_min, y_max - y_min)
+    )
+    protocol = chaos_protocol_config(failover)
+    config = SimulationConfig(
+        strategy=strategy,
+        sim_time=sim_time,
+        radio=RadioConfig(loss_rate=0.05),
+        protocol=protocol,
+        seed=seed + 3,
+        # Drain far enough past the last possible issue that every
+        # deadline close, retry tail, and failover flood has landed.
+        drain_time=CHAOS_DEADLINE + 60.0,
+        faults=faults,
+    )
+    observer = Observer()
+    result = run_manet_simulation(
+        dataset, workload, config, observer=observer, keep_network=True,
+    )
+    sim, _world, _devs = result.network
+    violations = verify_run(
+        result, dataset, protocol, observer=observer, sim=sim,
+    )
+    reports = [r.report for r in result.records if r.report is not None]
+    contributed = sum(len(r.contributed) for r in reports)
+    attainable = contributed + sum(
+        len(r.lost_to_fault) + len(r.deadline_expired) for r in reports
+    )
+    return ChaosPoint(
+        seed=seed,
+        strategy=strategy,
+        failover=failover,
+        violations=violations,
+        queries=len(result.records),
+        completed=sum(1 for r in reports if r.outcome == "completed"),
+        deadline_expired=sum(
+            1 for r in reports if r.outcome == "deadline-expired"
+        ),
+        aborted=sum(1 for r in reports if r.outcome == "aborted-by-crash"),
+        failovers=sum(r.failovers for r in result.records),
+        coverage=(contributed / attainable) if attainable else 1.0,
+        fault_events=len(result.fault_events),
+    )
+
+
+def chaos_suite(
+    seeds: Sequence[int],
+    strategies: Sequence[str] = ("bf", "df"),
+    failover: bool = True,
+    progress: Optional[int] = None,
+) -> ChaosReport:
+    """Run the invariant suite over many seeds and strategies.
+
+    Args:
+        seeds: Chaos seeds; each is run once per strategy.
+        strategies: Which protocol strategies to exercise.
+        failover: Enable DF→BF failover in the resilience policy
+            (ignored by BF, which has no token to lose).
+        progress: If given, print one status line every ``progress``
+            completed runs.
+
+    Returns:
+        A :class:`ChaosReport`; ``report.ok`` is the pass/fail verdict.
+    """
+    report = ChaosReport()
+    done = 0
+    total = len(seeds) * len(strategies)
+    for seed in seeds:
+        for strategy in strategies:
+            report.points.append(run_chaos_point(seed, strategy, failover))
+            done += 1
+            if progress and done % progress == 0:
+                print(f"  chaos {done}/{total} runs...", flush=True)
+    return report

@@ -48,6 +48,8 @@ class FaultInjector:
         self.applied: List[Tuple] = []
         self._world: Optional[World] = None
         self._burst_stack: List[float] = []
+        self._dup_stack: List[float] = []
+        self._jitter_stack: List[float] = []
 
     def install(self, world: World) -> "FaultInjector":
         """Schedule every fault transition on the world's engine.
@@ -91,6 +93,28 @@ class FaultInjector:
             world.set_loss_override(
                 self._burst_stack[-1] if self._burst_stack else None
             )
+        elif event.kind == "partition-split":
+            effective = world.set_partition(event.axis, event.coord, True)
+        elif event.kind == "partition-heal":
+            effective = world.set_partition(event.axis, event.coord, False)
+        elif event.kind == "dup-start":
+            self._dup_stack.append(event.loss_rate)
+            world.set_duplication(event.loss_rate)
+        elif event.kind == "dup-end":
+            if self._dup_stack:
+                self._dup_stack.pop()
+            world.set_duplication(
+                self._dup_stack[-1] if self._dup_stack else None
+            )
+        elif event.kind == "jitter-start":
+            self._jitter_stack.append(event.jitter)
+            world.set_delay_jitter(event.jitter)
+        elif event.kind == "jitter-end":
+            if self._jitter_stack:
+                self._jitter_stack.pop()
+            world.set_delay_jitter(
+                self._jitter_stack[-1] if self._jitter_stack else None
+            )
         self.applied.append(event.signature() + (effective,))
         if self.tracer is not None:
             self.tracer.emit(
@@ -98,6 +122,9 @@ class FaultInjector:
                 node=event.node,
                 link=event.link,
                 loss_rate=event.loss_rate,
+                axis=event.axis,
+                coord=event.coord,
+                jitter=event.jitter,
                 effective=effective,
             )
 

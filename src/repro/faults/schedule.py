@@ -19,7 +19,8 @@ import numpy as np
 
 __all__ = ["FaultEvent", "FaultSchedule", "FAULT_KINDS"]
 
-#: Recognised event kinds.
+#: Recognised event kinds. Order matters: it is the same-time sort
+#: tiebreak, so new kinds are appended, never inserted.
 FAULT_KINDS = (
     "node-crash",
     "node-recover",
@@ -27,6 +28,12 @@ FAULT_KINDS = (
     "link-up",
     "loss-burst-start",
     "loss-burst-end",
+    "partition-split",
+    "partition-heal",
+    "dup-start",
+    "dup-end",
+    "jitter-start",
+    "jitter-end",
 )
 
 
@@ -39,7 +46,12 @@ class FaultEvent:
         kind: One of :data:`FAULT_KINDS`.
         node: Target node for crash/recover events.
         link: Target ``(a, b)`` pair for link events (stored sorted).
-        loss_rate: Override rate for ``loss-burst-start`` events.
+        loss_rate: Probability payload: the override rate for
+            ``loss-burst-start`` and the duplication probability for
+            ``dup-start``.
+        axis: Cut axis (``x`` or ``y``) for partition events.
+        coord: Cut coordinate for partition events.
+        jitter: Max extra per-hop delay for ``jitter-start`` events.
     """
 
     time: float
@@ -47,6 +59,9 @@ class FaultEvent:
     node: Optional[int] = None
     link: Optional[Tuple[int, int]] = None
     loss_rate: Optional[float] = None
+    axis: Optional[str] = None
+    coord: Optional[float] = None
+    jitter: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -67,10 +82,23 @@ class FaultEvent:
         if self.kind == "loss-burst-start":
             if self.loss_rate is None or not 0.0 <= self.loss_rate <= 1.0:
                 raise ValueError("loss-burst-start needs loss_rate in [0, 1]")
+        if self.kind == "dup-start":
+            if self.loss_rate is None or not 0.0 <= self.loss_rate <= 1.0:
+                raise ValueError(
+                    "dup-start needs a duplication rate in [0, 1] "
+                    "(carried in loss_rate)"
+                )
+        if self.kind in ("partition-split", "partition-heal"):
+            if self.axis not in ("x", "y") or self.coord is None:
+                raise ValueError(f"{self.kind} needs axis ('x'/'y') and coord")
+        if self.kind == "jitter-start":
+            if self.jitter is None or self.jitter <= 0:
+                raise ValueError("jitter-start needs jitter > 0")
 
     def signature(self) -> Tuple:
         """Hashable identity used for bit-for-bit trace comparisons."""
-        return (self.time, self.kind, self.node, self.link, self.loss_rate)
+        return (self.time, self.kind, self.node, self.link, self.loss_rate,
+                self.axis, self.coord, self.jitter)
 
 
 class FaultSchedule:
@@ -139,6 +167,47 @@ class FaultSchedule:
         self.add(FaultEvent(time=time + duration, kind="loss-burst-end"))
         return self
 
+    def partition(
+        self, time: float, axis: str, coord: float,
+        duration: Optional[float] = None,
+    ) -> "FaultSchedule":
+        """Split the world along ``axis = coord`` at ``time``; heal after
+        ``duration`` seconds (never, if None). Returns self."""
+        self.add(
+            FaultEvent(time=time, kind="partition-split", axis=axis,
+                       coord=coord)
+        )
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be > 0")
+            self.add(
+                FaultEvent(time=time + duration, kind="partition-heal",
+                           axis=axis, coord=coord)
+            )
+        return self
+
+    def duplication(
+        self, time: float, rate: float, duration: float
+    ) -> "FaultSchedule":
+        """Duplicate delivered frames with probability ``rate`` during
+        ``[time, time + duration)``. Returns self."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self.add(FaultEvent(time=time, kind="dup-start", loss_rate=rate))
+        self.add(FaultEvent(time=time + duration, kind="dup-end"))
+        return self
+
+    def delay_jitter(
+        self, time: float, max_delay: float, duration: float
+    ) -> "FaultSchedule":
+        """Add uniform ``[0, max_delay]`` extra per-hop delay during
+        ``[time, time + duration)``. Returns self."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self.add(FaultEvent(time=time, kind="jitter-start", jitter=max_delay))
+        self.add(FaultEvent(time=time + duration, kind="jitter-end"))
+        return self
+
     # -- generation ---------------------------------------------------------
 
     @classmethod
@@ -156,6 +225,15 @@ class FaultSchedule:
         burst_rate: float = 0.8,
         mean_burst: float = 20.0,
         protect: Sequence[int] = (),
+        partitions: int = 0,
+        mean_partition: float = 40.0,
+        extent: Tuple[float, float] = (1000.0, 1000.0),
+        dup_windows: int = 0,
+        dup_rate: float = 0.3,
+        mean_dup: float = 20.0,
+        jitter_windows: int = 0,
+        jitter_max: float = 0.25,
+        mean_jitter: float = 20.0,
     ) -> "FaultSchedule":
         """Draw a churn schedule from one seeded generator.
 
@@ -178,6 +256,23 @@ class FaultSchedule:
             mean_burst: Mean exponential burst duration.
             protect: Node ids that never crash (e.g. query originators a
                 test needs alive).
+            partitions: Number of region-split windows (random axis, cut
+                in the middle half of ``extent``).
+            mean_partition: Mean exponential partition duration; a split
+                outliving ``sim_time`` never heals.
+            extent: ``(width, height)`` of the deployment area the cut
+                coordinate is drawn from.
+            dup_windows: Number of message-duplication windows.
+            dup_rate: Duplication probability inside each window.
+            mean_dup: Mean exponential duplication-window duration.
+            jitter_windows: Number of delay-jitter windows.
+            jitter_max: Max extra per-hop delay inside each window.
+            mean_jitter: Mean exponential jitter-window duration.
+
+        Determinism note: the new fault families draw *after* the
+        original crash/blackout/burst draws, so schedules generated with
+        only the original arguments are bit-identical to those from
+        before partitions/duplication/jitter existed.
         """
         if node_count <= 0:
             raise ValueError("node_count must be > 0")
@@ -213,6 +308,28 @@ class FaultSchedule:
             duration = float(rng.exponential(mean_burst))
             schedule.loss_burst(
                 start, burst_rate, duration=max(duration, 1e-3)
+            )
+        for _ in range(partitions):
+            axis = "x" if rng.random() < 0.5 else "y"
+            span = extent[0] if axis == "x" else extent[1]
+            coord = float(rng.uniform(0.25, 0.75)) * span
+            start = float(rng.uniform(lo, hi))
+            duration = float(rng.exponential(mean_partition))
+            schedule.partition(
+                start, axis, coord,
+                duration=duration if start + duration < sim_time else None,
+            )
+        for _ in range(dup_windows):
+            start = float(rng.uniform(lo, hi))
+            duration = float(rng.exponential(mean_dup))
+            schedule.duplication(
+                start, dup_rate, duration=max(duration, 1e-3)
+            )
+        for _ in range(jitter_windows):
+            start = float(rng.uniform(lo, hi))
+            duration = float(rng.exponential(mean_jitter))
+            schedule.delay_jitter(
+                start, jitter_max, duration=max(duration, 1e-3)
             )
         return schedule
 

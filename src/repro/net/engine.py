@@ -72,6 +72,13 @@ class Simulator:
         """Events still queued (including cancelled ones not yet popped)."""
         return len(self._heap)
 
+    @property
+    def live_pending(self) -> int:
+        """Events still queued that will actually fire (cancelled debris
+        excluded) — the leaked-timer metric the resilience invariants
+        check after a drained run."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:

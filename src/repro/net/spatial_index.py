@@ -215,16 +215,30 @@ class NeighborIndex:
 
         down = world._down
         blackouts = world._blackouts
+        partitions = world._partitions
+        # Partition cuts assign every node a side signature; two nodes
+        # communicate only when their signatures match. The >= test on
+        # the memoised float64 positions is identical to the scalar
+        # reference path in World._same_partition_side.
+        side: Dict[int, Tuple[bool, ...]] = {}
+        if partitions:
+            for i in ids:
+                side[i] = tuple(
+                    bool(pos[i, 0 if axis == "x" else 1] >= coord)
+                    for axis, coord in partitions
+                )
         eff: Dict[int, List[int]] = {}
         for i in ids:
             geom[i].sort()
             if i in down:
                 eff[i] = []
-            elif blackouts:
+            elif blackouts or partitions:
                 eff[i] = [
                     j
                     for j in geom[i]
-                    if j not in down and frozenset((i, j)) not in blackouts
+                    if j not in down
+                    and frozenset((i, j)) not in blackouts
+                    and (not partitions or side[j] == side[i])
                 ]
             elif down:
                 eff[i] = [j for j in geom[i] if j not in down]

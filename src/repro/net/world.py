@@ -65,6 +65,7 @@ class TrafficStats:
     transmissions: int = 0
     deliveries: int = 0
     drops: int = 0
+    duplicates: int = 0
     bytes_sent: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
@@ -109,9 +110,10 @@ class World:
 
     Besides geometry, the world tracks *fault* state injected by a
     :class:`~repro.faults.FaultInjector`: crashed (down) nodes, blacked
-    out node pairs, and a temporary loss-rate override. All transmission
-    paths consult :meth:`can_communicate`, which folds fault state into
-    the unit-disk test.
+    out node pairs, a temporary loss-rate override, half-plane network
+    partitions, message duplication, and per-hop delay jitter. All
+    transmission paths consult :meth:`can_communicate`, which folds
+    fault state into the unit-disk test.
 
     Connectivity questions are answered by an epoch-cached
     :class:`~repro.net.spatial_index.NeighborIndex` (one vectorised
@@ -146,6 +148,14 @@ class World:
         self._down: set = set()
         self._blackouts: set = set()
         self._loss_override: Optional[float] = None
+        #: Active network partitions: ``(axis, coord)`` half-plane cuts.
+        #: Nodes on opposite sides of any cut cannot communicate.
+        self._partitions: List[tuple] = []
+        #: Message-duplication fault: probability a successfully sent
+        #: frame is delivered twice.
+        self._dup_rate: float = 0.0
+        #: Delay-jitter fault: max extra uniform delay per hop, seconds.
+        self._jitter: float = 0.0
         self.cache_enabled = cache
         self._index = NeighborIndex(self)
         #: Observability sink (``repro.obs``). Defaults to the shared
@@ -217,15 +227,29 @@ class World:
     def can_communicate(self, a: int, b: int) -> bool:
         """Can ``a`` and ``b`` currently exchange frames?
 
-        Geometry plus fault state: both endpoints up and the pairwise
-        link not blacked out.
+        Geometry plus fault state: both endpoints up, the pairwise link
+        not blacked out, and no active partition cut between them.
         """
-        return (
-            a not in self._down
-            and b not in self._down
-            and frozenset((a, b)) not in self._blackouts
-            and self.in_range(a, b)
-        )
+        if (
+            a in self._down
+            or b in self._down
+            or frozenset((a, b)) in self._blackouts
+            or not self.in_range(a, b)
+        ):
+            return False
+        if self._partitions and not self._same_partition_side(
+            self.position(a), self.position(b)
+        ):
+            return False
+        return True
+
+    def _same_partition_side(self, pa: tuple, pb: tuple) -> bool:
+        """Are two positions on the same side of every active cut?"""
+        for axis, coord in self._partitions:
+            k = 0 if axis == "x" else 1
+            if (pa[k] >= coord) != (pb[k] >= coord):
+                return False
+        return True
 
     def neighbors(self, node: int) -> List[int]:
         """Nodes ``node`` can currently exchange frames with, in sorted
@@ -274,7 +298,9 @@ class World:
         dx = pa[0] - pb[0]
         dy = pa[1] - pb[1]
         r = self.radio.radio_range
-        return dx * dx + dy * dy <= r * r
+        if dx * dx + dy * dy > r * r:
+            return False
+        return not self._partitions or self._same_partition_side(pa, pb)
 
     def _uncached_neighbors(self, node: int) -> List[int]:
         return [
@@ -358,6 +384,74 @@ class World:
         """Is the pairwise link ``a``–``b`` currently forced down?"""
         return frozenset((a, b)) in self._blackouts
 
+    def set_partition(self, axis: str, coord: float, active: bool) -> bool:
+        """Split (or heal) the world along a half-plane cut.
+
+        While active, nodes on opposite sides of ``axis = coord`` cannot
+        communicate regardless of radio range — the region-split fault.
+        Multiple cuts stack. Returns whether the call changed anything
+        (healing a cut that is not active is a no-op).
+        """
+        if axis not in ("x", "y"):
+            raise ValueError(f"partition axis must be 'x' or 'y', got {axis!r}")
+        entry = (axis, float(coord))
+        if active:
+            self._partitions.append(entry)
+        else:
+            if entry not in self._partitions:
+                return False
+            self._partitions.remove(entry)
+        self._index.invalidate()
+        if self.obs.enabled:
+            self.obs.fault(
+                "partition-split" if active else "partition-heal",
+                axis=axis, coord=float(coord),
+            )
+        return True
+
+    @property
+    def partitions(self) -> tuple:
+        """Active ``(axis, coord)`` partition cuts, in activation order."""
+        return tuple(self._partitions)
+
+    def set_duplication(self, rate: Optional[float]) -> None:
+        """Set the message-duplication fault rate (``None`` disables).
+
+        While positive, every successfully transmitted frame copy is
+        delivered a second time with probability ``rate`` — stale-token
+        and duplicate-result stress for the protocol dedup logic.
+        """
+        if rate is not None and not 0.0 <= rate <= 1.0:
+            raise ValueError("duplication rate must be in [0, 1] or None")
+        new = rate if rate is not None else 0.0
+        if self.obs.enabled and new != self._dup_rate:
+            self.obs.fault("duplication-override", rate=new)
+        self._dup_rate = new
+
+    @property
+    def duplication_rate(self) -> float:
+        """Current message-duplication fault rate (0.0 = off)."""
+        return self._dup_rate
+
+    def set_delay_jitter(self, max_delay: Optional[float]) -> None:
+        """Set the delay-jitter fault (``None`` disables).
+
+        While positive, every hop's transfer delay gains a uniform extra
+        ``[0, max_delay]`` seconds — reordering stress for timers and
+        retransmission logic.
+        """
+        if max_delay is not None and max_delay < 0:
+            raise ValueError("jitter max_delay must be >= 0 or None")
+        new = max_delay if max_delay is not None else 0.0
+        if self.obs.enabled and new != self._jitter:
+            self.obs.fault("jitter-override", max_delay=new)
+        self._jitter = new
+
+    @property
+    def delay_jitter(self) -> float:
+        """Current max extra per-hop delay (0.0 = off)."""
+        return self._jitter
+
     def set_loss_override(self, loss_rate: Optional[float]) -> None:
         """Temporarily override the radio's loss rate (bursty-loss
         windows); ``None`` restores the configured rate."""
@@ -423,7 +517,7 @@ class World:
         self._charge_tx(frame)
         if self.obs.enabled:
             self.obs.frame_sent(frame)
-        delay = self.radio.transfer_delay(frame.size_bytes)
+        delay = self._jittered(self.radio.transfer_delay(frame.size_bytes))
         if not self.can_communicate(frame.src, frame.dst) or self._lossy():
             self.stats.drops += 1
             if self.obs.enabled:
@@ -432,6 +526,14 @@ class World:
                 self.sim.schedule(delay, on_failure, frame)
             return
         self.sim.schedule(delay, self._deliver, frame, on_failure)
+        if self._duplicated():
+            self.stats.duplicates += 1
+            if self.obs.enabled:
+                self.obs.frame_duplicated(frame)
+            self.sim.schedule(
+                self._jittered(self.radio.transfer_delay(frame.size_bytes)),
+                self._deliver, frame, None,
+            )
 
     def broadcast(self, frame: Frame) -> List[int]:
         """Transmit a one-hop broadcast; returns the receiver ids.
@@ -456,7 +558,16 @@ class World:
                     self.obs.frame_dropped(frame, "loss")
                 continue
             receivers.append(other)
-            self.sim.schedule(delay, self._deliver_broadcast, other, frame)
+            self.sim.schedule(
+                self._jittered(delay), self._deliver_broadcast, other, frame
+            )
+            if self._duplicated():
+                self.stats.duplicates += 1
+                if self.obs.enabled:
+                    self.obs.frame_duplicated(frame)
+                self.sim.schedule(
+                    self._jittered(delay), self._deliver_broadcast, other, frame
+                )
         return receivers
 
     def _deliver_broadcast(self, node: int, frame: Frame) -> None:
@@ -502,3 +613,17 @@ class World:
     def _lossy(self) -> bool:
         rate = self.effective_loss_rate
         return rate > 0 and bool(self._rng.random() < rate)
+
+    def _duplicated(self) -> bool:
+        # Guarded on rate > 0 exactly like _lossy(): a fault-free run
+        # draws no randomness here and stays bit-identical.
+        return self._dup_rate > 0.0 and bool(
+            self._rng.random() < self._dup_rate
+        )
+
+    def _jittered(self, delay: float) -> float:
+        """Per-hop delay with the jitter fault folded in (no RNG draw
+        when the fault is inactive — determinism contract)."""
+        if self._jitter > 0.0:
+            delay += float(self._rng.uniform(0.0, self._jitter))
+        return delay

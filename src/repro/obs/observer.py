@@ -310,6 +310,34 @@ class Observer:
                    tuples=tuples)
         self.metrics.counter("protocol.results.merged").inc()
 
+    # -- resilience hooks ------------------------------------------------------
+
+    def failover(
+        self, new_key: QueryKey, root_key: QueryKey, node: int, **attrs: Any
+    ) -> None:
+        """A DF originator abandoned the token walk and re-flooded the
+        query breadth-first; ``new_key`` aliases onto the root span."""
+        sid = self._query_roots.get(root_key)
+        if sid is not None:
+            self._query_roots[new_key] = sid
+        self.event("query.failover", query=root_key, node=node,
+                   new_cnt=new_key[1], **attrs)
+        self.metrics.counter("resilience.failovers").inc()
+
+    def orphan_reaped(self, query: QueryKey, node: int, what: str) -> None:
+        """In-flight work for a crashed originator was suppressed
+        (``what``: token / token-backtrack / flood-query / result /
+        result-retry)."""
+        self.event("orphan.reaped", query=query, node=node, what=what)
+        self.metrics.counter("resilience.orphans_reaped").inc()
+        self.metrics.counter(f"resilience.orphans.{what}").inc()
+
+    def deadline_close(self, query: QueryKey, node: int) -> None:
+        """A record closed on its deadline budget without ever reaching
+        its strategy's completion condition."""
+        self.event("query.deadline-close", query=query, node=node)
+        self.metrics.counter("resilience.deadline_closes").inc()
+
     # -- frame-level hooks (called by World) ----------------------------------
 
     def frame_sent(self, frame: Frame) -> None:
@@ -342,6 +370,12 @@ class Observer:
         else:
             self.event("frame.heard", query=query_key_of(frame.payload),
                        node=node, frame=frame.kind, frame_id=frame.frame_id)
+
+    def frame_duplicated(self, frame: Frame) -> None:
+        """The duplication fault delivered a second copy of ``frame``."""
+        self.metrics.counter("net.dup.frames").inc()
+        self.event("frame.duplicated", query=query_key_of(frame.payload),
+                   node=frame.src, frame=frame.kind, frame_id=frame.frame_id)
 
     def frame_dropped(self, frame: Frame, reason: str) -> None:
         """A frame was lost (``reason``: no-link / loss / moved / fault)."""
@@ -492,6 +526,18 @@ class NullObserver:
         pass
 
     def result_merged(self, *args, **kwargs) -> None:
+        pass
+
+    def failover(self, *args, **kwargs) -> None:
+        pass
+
+    def orphan_reaped(self, *args, **kwargs) -> None:
+        pass
+
+    def deadline_close(self, *args, **kwargs) -> None:
+        pass
+
+    def frame_duplicated(self, *args, **kwargs) -> None:
         pass
 
     def frame_sent(self, *args, **kwargs) -> None:

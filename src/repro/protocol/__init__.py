@@ -16,6 +16,7 @@ from .device import (
     SkylineDevice,
 )
 from .messages import QueryMessage, ResultAckMessage, ResultMessage, TokenMessage
+from ..resilience import CompletionReport, ResiliencePolicy
 from .redistribution import (
     RedistributionProcess,
     RedistributionStats,
@@ -31,6 +32,7 @@ from .static_grid import (
 
 __all__ = [
     "BFDevice",
+    "CompletionReport",
     "DFDevice",
     "DeviceContribution",
     "ProtocolConfig",
@@ -38,6 +40,7 @@ __all__ = [
     "QueryRecord",
     "RedistributionProcess",
     "RedistributionStats",
+    "ResiliencePolicy",
     "ResultAckMessage",
     "ResultMessage",
     "STRATEGIES",

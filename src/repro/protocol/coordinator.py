@@ -93,6 +93,10 @@ class SimulationResult:
     fault_events: Tuple = ()
     """Signatures of every applied fault transition, in order — the
     deterministic fault trace (empty without a fault schedule)."""
+    network: Optional[Tuple] = None
+    """``(sim, world, devices)`` of the finished run, retained only when
+    the run was started with ``keep_network=True`` — the resilience
+    invariant suite inspects the engine heap and live device state."""
 
     @property
     def completed(self) -> List[QueryRecord]:
@@ -147,6 +151,7 @@ def run_manet_simulation(
     mobility: Optional[MobilityModel] = None,
     max_events: Optional[int] = None,
     observer: Optional[Observer] = None,
+    keep_network: bool = False,
 ) -> SimulationResult:
     """Run a full MANET experiment.
 
@@ -162,6 +167,9 @@ def run_manet_simulation(
             the run's world; it records query spans and metrics and is
             finalized against the result before returning. Observation
             is passive — the run is bit-identical with or without it.
+        keep_network: Retain ``(sim, world, devices)`` on the result's
+            ``network`` field so post-run checks (the chaos invariant
+            suite) can inspect the drained engine heap and device state.
 
     Returns:
         A :class:`SimulationResult` with every query record and the
@@ -211,6 +219,7 @@ def run_manet_simulation(
         fault_events=(
             injector.applied_signature() if injector is not None else ()
         ),
+        network=(sim, world, devices) if keep_network else None,
     )
     if observer is not None:
         observer.finalize(result)

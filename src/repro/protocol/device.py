@@ -40,6 +40,11 @@ from ..net.engine import EventHandle
 from ..net.messages import Frame, FrameKind
 from ..net.node import Node
 from ..net.world import World
+from ..resilience import (
+    CompletionReport,
+    ResiliencePolicy,
+    build_completion_report,
+)
 from ..storage.flat import FlatStorage
 from ..storage.hybrid import HybridStorage
 from ..storage.relation import Relation
@@ -54,9 +59,13 @@ __all__ = [
     "DFDevice",
 ]
 
-#: Delay before a backtracking token skips past a vanished parent —
-#: yields the event loop so long dead paths unwind turn by turn.
+#: Default delay before a backtracking token skips past a vanished
+#: parent — yields the event loop so long dead paths unwind turn by
+#: turn. Tunable per run via ``ProtocolConfig.backtrack_retry_delay``.
 _BACKTRACK_RETRY_DELAY = 0.05
+
+#: Default ceiling for the result-retransmission backoff.
+_ACK_BACKOFF_CAP = 60.0
 
 
 @dataclass(frozen=True)
@@ -92,7 +101,10 @@ class ProtocolConfig:
             replies with capped exponential backoff. A lost RESULT is
             no longer silently gone.
         ack_timeout: Initial retransmission backoff in seconds; doubles
-            per attempt.
+            per attempt up to ``ack_backoff_cap``.
+        ack_backoff_cap: Ceiling in seconds for the exponential
+            retransmission backoff — without it ``ack_timeout * 2**n``
+            grows unbounded.
         result_retries: Retransmissions per result before giving up.
         token_watchdog: DF recovery — seconds of token silence at the
             originator before the query is re-issued with an incremented
@@ -102,6 +114,13 @@ class ProtocolConfig:
             up and leaves closure to ``query_timeout``.
         backtrack_slack: Extra hops a DF backtrack chain may skip past
             vanished parents beyond the current path length.
+        backtrack_retry_delay: Seconds a backtracking token waits before
+            skipping past a vanished parent (yields the event loop so
+            long dead paths unwind turn by turn).
+        resilience: The :class:`~repro.resilience.ResiliencePolicy` —
+            deadline budgets, DF→BF failover, orphan suppression,
+            completion reports. Defaults are inert: a default policy
+            reproduces the pre-resilience protocol bit for bit.
         assembler: ``incremental`` (default) merges partial skylines via
             the running-array assembler and chunked dominance passes;
             ``legacy`` rebuilds a relation per contribution with one
@@ -124,12 +143,15 @@ class ProtocolConfig:
     completion_quorum: float = 0.8
     result_ack: bool = True
     ack_timeout: float = 3.0
+    ack_backoff_cap: float = _ACK_BACKOFF_CAP
     result_retries: int = 3
     token_watchdog: float = 60.0
     token_reissues: int = 2
     backtrack_slack: int = 4
+    backtrack_retry_delay: float = _BACKTRACK_RETRY_DELAY
     assembler: str = "incremental"
     merge_block: int = DEFAULT_MERGE_BLOCK
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
         if self.processor not in ("vectorized", "hybrid", "flat"):
@@ -146,6 +168,8 @@ class ProtocolConfig:
             raise ValueError("completion_quorum must be in (0, 1]")
         if self.ack_timeout <= 0:
             raise ValueError("ack_timeout must be > 0")
+        if self.ack_backoff_cap < self.ack_timeout:
+            raise ValueError("ack_backoff_cap must be >= ack_timeout")
         if self.result_retries < 0:
             raise ValueError("result_retries must be >= 0")
         if self.token_watchdog < 0:
@@ -154,6 +178,17 @@ class ProtocolConfig:
             raise ValueError("token_reissues must be >= 0")
         if self.backtrack_slack < 0:
             raise ValueError("backtrack_slack must be >= 0")
+        if self.backtrack_retry_delay <= 0:
+            raise ValueError("backtrack_retry_delay must be > 0")
+        if not isinstance(self.resilience, ResiliencePolicy):
+            raise TypeError("resilience must be a ResiliencePolicy")
+
+    @property
+    def effective_deadline(self) -> float:
+        """The per-query close budget: the policy's deadline when set,
+        else ``query_timeout``."""
+        deadline = self.resilience.deadline
+        return self.query_timeout if deadline is None else deadline
 
 
 @dataclass
@@ -188,9 +223,13 @@ class QueryRecord:
     contributions: Dict[int, DeviceContribution] = field(default_factory=dict)
     completion_time: Optional[float] = None
     closed: bool = False
+    closed_at: Optional[float] = None
     reachable_at_issue: FrozenSet[int] = frozenset()
     reissues: int = 0
+    failovers: int = 0
     aborted_by_crash: bool = False
+    report: Optional[CompletionReport] = None
+    close_timer: Optional[EventHandle] = field(default=None, repr=False)
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -269,6 +308,10 @@ class SkylineDevice(Node):
         #: Crash epoch: bumped on every crash so scheduled continuations
         #: from before the crash become no-ops (in-flight state is lost).
         self._epoch = 0
+        #: Result replies not yet acknowledged by their originator,
+        #: keyed by query key (one reply per query per device). Shared
+        #: between the BF strategy and DF→BF failover floods.
+        self._pending_results: Dict[Tuple[int, int], _PendingResult] = {}
 
     # -- fault hooks --------------------------------------------------------
 
@@ -291,6 +334,10 @@ class SkylineDevice(Node):
         query is closed (its record survives for metrics, flagged
         ``aborted_by_crash``).
         """
+        for pending in self._pending_results.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending_results.clear()
         self._epoch += 1
         self.router.reset()
         self.query_log = QueryLog()
@@ -437,7 +484,9 @@ class SkylineDevice(Node):
                 query.key, self.node_id, d=d,
                 reachable=len(record.reachable_at_issue),
             )
-        self.sim.schedule(self.config.query_timeout, self._close_query, query.key)
+        record.close_timer = self.sim.schedule(
+            self.config.effective_deadline, self._close_query, query.key
+        )
         return record, local, flt
 
     def _close_query(self, key: Tuple[int, int]) -> None:
@@ -445,10 +494,33 @@ class SkylineDevice(Node):
         if record is None or record.closed:
             return
         record.closed = True
-        if self.world.obs.enabled:
-            self.world.obs.query_closed(key)
+        record.closed_at = self.sim.now
+        if record.close_timer is not None:
+            # Early closure (strategy completion, crash): the deadline
+            # timer would otherwise sit armed until the budget expires.
+            record.close_timer.cancel()
+            record.close_timer = None
+        self._cancel_query_timers(key, record)
+        obs = self.world.obs
+        if obs.enabled:
+            obs.query_closed(key)
+            if record.completion_time is None and not record.aborted_by_crash:
+                obs.deadline_close(key, self.node_id)
+        if self.config.resilience.completion_report:
+            record.report = build_completion_report(
+                record,
+                population=frozenset(self.world.node_ids),
+                down_now=frozenset(self.world.down_nodes),
+                closed_at=self.sim.now,
+            )
         if self._active_key == key:
             self._active_key = None
+
+    def _cancel_query_timers(
+        self, key: Tuple[int, int], record: QueryRecord
+    ) -> None:
+        """Strategy hook: cancel per-query timers when ``key`` closes
+        (the DF watchdog; the deadline timer is handled by the caller)."""
 
     def _complete_query(self, key: Tuple[int, int], close: bool = True) -> None:
         """Mark the strategy's completion condition as met.
@@ -469,32 +541,12 @@ class SkylineDevice(Node):
         elif self._active_key == key:
             self._active_key = None
 
+    def _resolve_record_key(self, key: Tuple[int, int]) -> Tuple[int, int]:
+        """Map a wire-level query key to the record it feeds (DF
+        overrides this with its re-issue alias map)."""
+        return key
 
-@dataclass
-class _PendingResult:
-    """A BF result reply awaiting its application-level ACK."""
-
-    reply: ResultMessage
-    origin: int
-    attempts: int = 0
-    timer: Optional[EventHandle] = None
-
-
-class BFDevice(SkylineDevice):
-    """Breadth-first (flooding) strategy."""
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        #: Result replies not yet acknowledged by their originator,
-        #: keyed by query key (one reply per query per device).
-        self._pending_results: Dict[Tuple[int, int], _PendingResult] = {}
-
-    def issue_query(self, d: float) -> QueryRecord:
-        record, local, flt = self._open_record(d)
-        delay = self.processing_delay(local)
-        message = QueryMessage(query=record.query, flt=flt, hops=1)
-        self._schedule_guarded(delay, self._broadcast_query, message)
-        return record
+    # -- flood machinery (BF strategy + DF→BF failover) ----------------------
 
     def _broadcast_query(self, message: QueryMessage) -> None:
         self.world.broadcast(
@@ -507,19 +559,32 @@ class BFDevice(SkylineDevice):
             )
         )
 
-    def on_protocol_frame(self, frame: Frame, sender: int) -> None:
-        if frame.kind != FrameKind.QUERY or not isinstance(
-            frame.payload, QueryMessage
-        ):
-            return
-        message: QueryMessage = frame.payload
+    def _handle_flood_query(self, message: QueryMessage, sender: int) -> None:
+        """Process one flooded QUERY frame: learn the reverse route,
+        compute and reply (unless excluded), re-broadcast."""
         if message.query.origin == self.node_id:
             # Our own flood echoing back (possible after a crash wiped
             # the duplicate log): never answer ourselves.
             return
+        if (
+            self.config.resilience.orphan_suppression
+            and not self.world.node_is_up(message.query.origin)
+        ):
+            self._reap_orphan(message.query.key, "flood-query")
+            return
         # The flood doubles as an AODV reverse-route advertisement.
         self.router.learn_route(message.query.origin, sender, message.hops)
         if not self.query_log.check_and_record(message.query):
+            return
+        if self.node_id in message.exclude:
+            # Failover residue flood and we already contributed via the
+            # token walk: nothing to recompute, just keep the flood going.
+            self._broadcast_query(
+                QueryMessage(
+                    query=message.query, flt=message.flt,
+                    hops=message.hops + 1, exclude=message.exclude,
+                )
+            )
             return
         flt = message.flt if self.config.use_filter else None
         result = self.compute_local(message.query, flt)
@@ -531,6 +596,13 @@ class BFDevice(SkylineDevice):
     def _respond_and_forward(
         self, message: QueryMessage, result: LocalSkylineResult, proc_time: float
     ) -> None:
+        if (
+            self.config.resilience.orphan_suppression
+            and not self.world.node_is_up(message.query.origin)
+        ):
+            # The originator died while we were computing.
+            self._reap_orphan(message.query.key, "result")
+            return
         reply = ResultMessage(
             query_key=message.query.key,
             sender=self.node_id,
@@ -556,7 +628,8 @@ class BFDevice(SkylineDevice):
                     message.query.key, self.node_id, out_flt.vdr
                 )
         forwarded = QueryMessage(
-            query=message.query, flt=out_flt, hops=message.hops + 1
+            query=message.query, flt=out_flt, hops=message.hops + 1,
+            exclude=message.exclude,
         )
         self._broadcast_query(forwarded)
 
@@ -571,9 +644,12 @@ class BFDevice(SkylineDevice):
         )
 
     def _arm_result_retry(
-        self, key: Tuple[int, int], pending: _PendingResult
+        self, key: Tuple[int, int], pending: "_PendingResult"
     ) -> None:
-        backoff = self.config.ack_timeout * (2.0 ** pending.attempts)
+        backoff = min(
+            self.config.ack_timeout * (2.0 ** pending.attempts),
+            self.config.ack_backoff_cap,
+        )
         pending.timer = self._schedule_guarded(
             backoff, self._retry_result, key
         )
@@ -581,6 +657,15 @@ class BFDevice(SkylineDevice):
     def _retry_result(self, key: Tuple[int, int]) -> None:
         pending = self._pending_results.get(key)
         if pending is None:
+            return
+        if (
+            self.config.resilience.orphan_suppression
+            and not self.world.node_is_up(pending.origin)
+        ):
+            # Dead letter box: the originator crashed, so no ACK can
+            # ever come — stop burning radio on retransmissions.
+            del self._pending_results[key]
+            self._reap_orphan(key, "result-retry")
             return
         if pending.attempts >= self.config.result_retries:
             del self._pending_results[key]
@@ -605,12 +690,73 @@ class BFDevice(SkylineDevice):
                 "result.acked", query=ack.query_key, node=self.node_id
             )
 
-    def on_crash(self) -> None:
-        for pending in self._pending_results.values():
-            if pending.timer is not None:
-                pending.timer.cancel()
-        self._pending_results.clear()
-        super().on_crash()
+    def _accept_flood_result(self, reply: ResultMessage) -> Optional[QueryRecord]:
+        """Originator side: ACK one routed RESULT copy and merge it into
+        its (root) record. Returns the record when a fresh contribution
+        was merged, else None."""
+        # ACK every copy, even duplicates and post-closure stragglers:
+        # an unacknowledged responder keeps retransmitting.
+        if self.config.result_ack:
+            ack = ResultAckMessage(query_key=reply.query_key)
+            self.router.send_data(
+                dest=reply.sender,
+                kind=FrameKind.ACK,
+                payload=ack,
+                size_bytes=ack.size_bytes(),
+            )
+        record = self.records.get(self._resolve_record_key(reply.query_key))
+        if record is None or record.closed:
+            return None
+        if reply.sender in record.contributions:
+            return None
+        record.contributions[reply.sender] = DeviceContribution(
+            device=reply.sender,
+            unreduced_size=reply.unreduced_size,
+            reduced_size=reply.skyline.cardinality,
+            skipped=reply.skipped,
+            processing_time=reply.processing_time,
+            arrival_time=self.sim.now,
+        )
+        record.assembler.add(reply.skyline)
+        if self.world.obs.enabled:
+            self.world.obs.result_merged(
+                record.query.key, self.node_id, reply.sender,
+                reply.skyline.cardinality,
+            )
+        return record
+
+    def _reap_orphan(self, key: Tuple[int, int], what: str) -> None:
+        """Record the suppression of in-flight work for a dead originator."""
+        if self.world.obs.enabled:
+            self.world.obs.orphan_reaped(key, self.node_id, what)
+
+
+@dataclass
+class _PendingResult:
+    """A flood result reply awaiting its application-level ACK."""
+
+    reply: ResultMessage
+    origin: int
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+
+class BFDevice(SkylineDevice):
+    """Breadth-first (flooding) strategy."""
+
+    def issue_query(self, d: float) -> QueryRecord:
+        record, local, flt = self._open_record(d)
+        delay = self.processing_delay(local)
+        message = QueryMessage(query=record.query, flt=flt, hops=1)
+        self._schedule_guarded(delay, self._broadcast_query, message)
+        return record
+
+    def on_protocol_frame(self, frame: Frame, sender: int) -> None:
+        if frame.kind != FrameKind.QUERY or not isinstance(
+            frame.payload, QueryMessage
+        ):
+            return
+        self._handle_flood_query(frame.payload, sender)
 
     # -- originator side ----------------------------------------------------
 
@@ -624,42 +770,15 @@ class BFDevice(SkylineDevice):
             packet.payload, ResultMessage
         ):
             return
-        reply: ResultMessage = packet.payload
-        # ACK every copy, even duplicates and post-closure stragglers:
-        # an unacknowledged responder keeps retransmitting.
-        if self.config.result_ack:
-            ack = ResultAckMessage(query_key=reply.query_key)
-            self.router.send_data(
-                dest=reply.sender,
-                kind=FrameKind.ACK,
-                payload=ack,
-                size_bytes=ack.size_bytes(),
-            )
-        record = self.records.get(reply.query_key)
-        if record is None or record.closed:
+        record = self._accept_flood_result(packet.payload)
+        if record is None:
             return
-        if reply.sender in record.contributions:
-            return
-        record.contributions[reply.sender] = DeviceContribution(
-            device=reply.sender,
-            unreduced_size=reply.unreduced_size,
-            reduced_size=reply.skyline.cardinality,
-            skipped=reply.skipped,
-            processing_time=reply.processing_time,
-            arrival_time=self.sim.now,
-        )
-        record.assembler.add(reply.skyline)
-        if self.world.obs.enabled:
-            self.world.obs.result_merged(
-                reply.query_key, self.node_id, reply.sender,
-                reply.skyline.cardinality,
-            )
         # The paper's completion rule: a quorum (80%) of the other
         # devices have sent results back.
         others = len(self.world.node_ids) - 1
         needed = math.ceil(self.config.completion_quorum * others)
         if len(record.contributions) >= needed:
-            self._complete_query(reply.query_key, close=False)
+            self._complete_query(record.key, close=False)
 
 
 class DFDevice(SkylineDevice):
@@ -675,6 +794,18 @@ class DFDevice(SkylineDevice):
     def _resolve_key(self, key: Tuple[int, int]) -> Tuple[int, int]:
         """Map a (possibly re-issued) query key to its root record key."""
         return self._reissue_alias.get(key, key)
+
+    def _resolve_record_key(self, key: Tuple[int, int]) -> Tuple[int, int]:
+        return self._resolve_key(key)
+
+    def _cancel_query_timers(
+        self, key: Tuple[int, int], record: QueryRecord
+    ) -> None:
+        # Only the active query ever has an armed watchdog, and closing
+        # any of this device's records means that query is over.
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
 
     def issue_query(self, d: float) -> QueryRecord:
         record, local, flt = self._open_record(d)
@@ -727,7 +858,14 @@ class DFDevice(SkylineDevice):
             self._arm_watchdog(root_key, remaining)
             return
         if record.reissues >= self.config.token_reissues:
-            # Out of re-issues: leave closure to query_timeout.
+            policy = self.config.resilience
+            if policy.df_failover and record.failovers < policy.max_failovers:
+                # Token recovery is spent: change strategy instead of
+                # giving up. The watchdog retires either way — failover
+                # replies route straight home under their own ACK
+                # recovery, so token silence is no longer a signal.
+                self._failover(record)
+            # Without failover: leave closure to the deadline budget.
             return
         record.reissues += 1
         self._reissue(record)
@@ -766,15 +904,67 @@ class DFDevice(SkylineDevice):
         self._last_token_activity = self.sim.now
         self._pass_token(token)
 
-    def on_crash(self) -> None:
-        if self._watchdog is not None:
-            self._watchdog.cancel()
-            self._watchdog = None
-        super().on_crash()
+    # -- DF→BF failover -----------------------------------------------------
+
+    def _failover(self, record: QueryRecord) -> None:
+        """Abandon the token walk: re-flood the query breadth-first over
+        the unvisited residue.
+
+        The flood travels under a fresh ``cnt`` aliased back to the root
+        record (so the ``(id, cnt)`` log treats it as a new query
+        everywhere), with devices that already contributed through the
+        token excluded from recomputation. Replies come home as routed
+        RESULT messages under the flood's ACK/retransmit recovery — a
+        strategy change, charged explicitly as failover accounting
+        (``resilience.failovers``, QUERY/RESULT/ACK frames in a DF run).
+        """
+        record.failovers += 1
+        query = replace(record.query, cnt=self.query_counter.next_value())
+        self._reissue_alias[query.key] = record.query.key
+        self.query_log.record(query)
+        merged = record.assembler.result()
+        flt = None
+        if self.config.use_filter and merged.cardinality:
+            local_highs = (
+                self.relation.normalized_worst()
+                if self.relation.cardinality
+                else None
+            )
+            flt = select_filter(
+                merged,
+                self.config.estimation,
+                self.config.over_margin,
+                local_highs=local_highs,
+            )
+        exclude = frozenset(record.contributions) | {self.node_id}
+        if self.world.obs.enabled:
+            self.world.obs.failover(
+                query.key, record.query.key, self.node_id,
+                excluded=len(exclude),
+            )
+        self._broadcast_query(
+            QueryMessage(query=query, flt=flt, hops=1, exclude=exclude)
+        )
+
+    def _merge_failover_result(self, reply: ResultMessage) -> None:
+        record = self._accept_flood_result(reply)
+        if record is None:
+            return
+        # DF completion after failover: every device reachable when the
+        # query was issued has now contributed — nothing more can come.
+        others = frozenset(record.reachable_at_issue) - {self.node_id}
+        if others and others <= frozenset(record.contributions):
+            self._complete_query(record.key)
 
     # -- token receipt --------------------------------------------------------
 
     def on_protocol_frame(self, frame: Frame, sender: int) -> None:
+        if frame.kind == FrameKind.QUERY and isinstance(
+            frame.payload, QueryMessage
+        ):
+            # Another DF originator's failover flood.
+            self._handle_flood_query(frame.payload, sender)
+            return
         if frame.kind != FrameKind.TOKEN or not isinstance(
             frame.payload, TokenMessage
         ):
@@ -792,6 +982,17 @@ class DFDevice(SkylineDevice):
     def on_data(self, packet: DataPacket) -> None:
         # Backtracking tokens travel routed (the parent may have moved);
         # packet.source is not a neighbour, so no route learning here.
+        # RESULT/ACK packets belong to the failover flood path.
+        if packet.kind == FrameKind.ACK and isinstance(
+            packet.payload, ResultAckMessage
+        ):
+            self._on_result_ack(packet.payload)
+            return
+        if packet.kind == FrameKind.RESULT and isinstance(
+            packet.payload, ResultMessage
+        ):
+            self._merge_failover_result(packet.payload)
+            return
         if packet.kind != FrameKind.TOKEN or not isinstance(
             packet.payload, TokenMessage
         ):
@@ -799,6 +1000,15 @@ class DFDevice(SkylineDevice):
         self._receive_token(packet.payload, packet.source)
 
     def _receive_token(self, token: TokenMessage, sender: int) -> None:
+        if (
+            self.config.resilience.orphan_suppression
+            and token.query.origin != self.node_id
+            and not self.world.node_is_up(token.query.origin)
+        ):
+            # The walk's originator is dead: the token is an orphan —
+            # drop it here instead of walking it to a crashed home.
+            self._reap_orphan(token.query.key, "token")
+            return
         if self.world.obs.enabled:
             self.world.obs.event(
                 "token.received", query=token.query.key, node=self.node_id,
@@ -888,6 +1098,14 @@ class DFDevice(SkylineDevice):
         the originator's watchdog or timeout then recovers — instead of
         unbounded re-backtracking.
         """
+        if (
+            self.config.resilience.orphan_suppression
+            and token.query.origin != self.node_id
+            and not self.world.node_is_up(token.query.origin)
+        ):
+            # Unwinding toward a crashed originator is pure waste.
+            self._reap_orphan(token.query.key, "token-backtrack")
+            return
         if budget is None:
             budget = len(token.path) + self.config.backtrack_slack
         if not token.path:
@@ -921,7 +1139,8 @@ class DFDevice(SkylineDevice):
             # hop budget allows.
             if _budget >= 0:
                 self._schedule_guarded(
-                    _BACKTRACK_RETRY_DELAY, self._backtrack, _token, _budget
+                    self.config.backtrack_retry_delay,
+                    self._backtrack, _token, _budget,
                 )
 
         self.router.send_data(

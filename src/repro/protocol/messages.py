@@ -28,17 +28,25 @@ class QueryMessage:
         flt: The filtering tuple travelling with the query (None for the
             straightforward strategy).
         hops: Hop distance from the originator (for route learning).
+        exclude: Devices that must not recompute (they already
+            contributed) — non-empty only on DF→BF failover floods,
+            where the flood targets the unvisited residue. Excluded
+            devices still learn routes and re-broadcast.
     """
 
     query: SkylineQuery
     flt: Optional[FilteringTuple] = None
     hops: int = 1
+    exclude: FrozenSet[int] = frozenset()
 
     def size_bytes(self, dimensions: int) -> int:
-        """Query spec plus one tuple when a filter rides along."""
+        """Query spec plus one tuple when a filter rides along, plus an
+        exclude-set bitmap on failover floods."""
         size = QUERY_BYTES
         if self.flt is not None:
             size += tuple_bytes(dimensions)
+        if self.exclude:
+            size += (len(self.exclude) + 7) // 8
         return size
 
 

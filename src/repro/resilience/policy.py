@@ -1,0 +1,65 @@
+"""Per-query reliability policy: deadlines, failover, orphan suppression.
+
+A :class:`ResiliencePolicy` rides on
+:class:`~repro.protocol.device.ProtocolConfig` and grades how a query is
+allowed to degrade under faults:
+
+* **Deadline budget** — an explicit per-query wall-clock budget (in
+  simulated seconds) after which the originator closes the record no
+  matter what is still in flight. When unset, ``query_timeout`` is the
+  budget, exactly as before this layer existed.
+* **DF→BF failover** — when the depth-first token watchdog exhausts its
+  ``token_reissues`` budget, the originator abandons the token walk and
+  re-floods the query breadth-first to the *unvisited residue* (devices
+  that already contributed are excluded from recomputation), charged as
+  its own accounting mode.
+* **Orphan suppression** — in-flight tokens, result retransmissions and
+  flood responses addressed to a crashed originator are dropped and
+  their timers cancelled instead of burning radio on a dead letter box.
+
+Every switch defaults to the inert setting, so a default-constructed
+policy reproduces the pre-resilience protocol bit for bit — the parity
+tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Behavioural switches for the query-resilience layer.
+
+    Attributes:
+        deadline: Per-query budget in simulated seconds; the record is
+            closed (and its :class:`~repro.resilience.report.CompletionReport`
+            built) this long after issue. ``None`` falls back to
+            ``ProtocolConfig.query_timeout``.
+        df_failover: Allow a DF originator whose token watchdog ran out
+            of re-issues to fall back to a breadth-first flood over the
+            unvisited residue.
+        max_failovers: Failover floods per query (the flood itself has
+            its own ACK/retransmit recovery, so one is usually enough).
+        orphan_suppression: Drop in-flight work addressed to a crashed
+            originator (tokens, result retries, flood responses) and
+            cancel the timers that would have driven it.
+        completion_report: Attach a
+            :class:`~repro.resilience.report.CompletionReport` to every
+            closed :class:`~repro.protocol.device.QueryRecord`.
+    """
+
+    deadline: Optional[float] = None
+    df_failover: bool = False
+    max_failovers: int = 1
+    orphan_suppression: bool = False
+    completion_report: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 (or None)")
+        if self.max_failovers < 0:
+            raise ValueError("max_failovers must be >= 0")

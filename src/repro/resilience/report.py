@@ -1,0 +1,143 @@
+"""Graded query completion: coverage as an explanation, not a ratio.
+
+A :class:`CompletionReport` is attached to every
+:class:`~repro.protocol.device.QueryRecord` when it closes. It
+partitions the device population (minus the originator) into four
+disjoint classes:
+
+* ``contributed`` — devices whose results were merged into the answer;
+* ``unreachable_at_issue`` — devices outside the originator's network
+  partition when the query was issued (no protocol could have reached
+  them: the attainable answer never included their data);
+* ``lost_to_fault`` — devices that were reachable at issue but crashed
+  and were still down when the record closed;
+* ``deadline_expired`` — devices that were reachable and up at close,
+  yet whose results never arrived inside the deadline budget (lost
+  frames, partitions that opened mid-flight, retry budgets exhausted).
+
+``contributed ∪ unreachable_at_issue ∪ lost_to_fault ∪
+deadline_expired ∪ {originator}`` always equals the full population —
+the chaos invariant suite checks this exact-partition property on every
+record of every randomized run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["CompletionReport", "build_completion_report"]
+
+#: Outcome labels a closed record can carry.
+OUTCOMES = ("completed", "deadline-expired", "aborted-by-crash")
+
+
+@dataclass(frozen=True)
+class CompletionReport:
+    """Why a closed query's answer covers what it covers.
+
+    Attributes:
+        query_key: ``(origin, cnt)`` of the root query.
+        originator: Issuing device.
+        outcome: ``completed`` (the strategy's completion condition
+            fired), ``deadline-expired`` (the budget closed it), or
+            ``aborted-by-crash`` (the originator died mid-query).
+        closed_at: Simulation time the record closed.
+        contributed: Devices whose results were merged.
+        unreachable_at_issue: Devices outside the originator's partition
+            at issue time.
+        lost_to_fault: Reachable-at-issue devices still crashed at close.
+        deadline_expired: Reachable, up, but silent inside the budget.
+    """
+
+    query_key: Tuple[int, int]
+    originator: int
+    outcome: str
+    closed_at: float
+    contributed: FrozenSet[int]
+    unreachable_at_issue: FrozenSet[int]
+    lost_to_fault: FrozenSet[int]
+    deadline_expired: FrozenSet[int]
+
+    def population(self) -> FrozenSet[int]:
+        """Every device the report accounts for (originator included)."""
+        return (
+            self.contributed
+            | self.unreachable_at_issue
+            | self.lost_to_fault
+            | self.deadline_expired
+            | {self.originator}
+        )
+
+    def is_exact_partition(self, population: FrozenSet[int]) -> bool:
+        """Do the four classes plus the originator exactly partition
+        ``population``? (Pairwise disjoint, nothing missing, nothing
+        extra — the chaos harness's core property.)"""
+        classes = (
+            self.contributed,
+            self.unreachable_at_issue,
+            self.lost_to_fault,
+            self.deadline_expired,
+            frozenset({self.originator}),
+        )
+        total = 0
+        union: FrozenSet[int] = frozenset()
+        for cls in classes:
+            total += len(cls)
+            union |= cls
+        return union == population and total == len(population)
+
+    def coverage(self) -> float:
+        """Fraction of the *attainable* answer actually gathered:
+        contributed over reachable-at-issue others (vacuously 1.0 when
+        the originator was alone)."""
+        attainable = (
+            len(self.contributed)
+            + len(self.lost_to_fault)
+            + len(self.deadline_expired)
+        )
+        if attainable == 0:
+            return 1.0
+        return len(self.contributed) / attainable
+
+
+def build_completion_report(
+    record,
+    population: FrozenSet[int],
+    down_now: FrozenSet[int],
+    closed_at: float,
+) -> CompletionReport:
+    """Classify ``population`` for a closing ``record``.
+
+    Args:
+        record: The closing :class:`~repro.protocol.device.QueryRecord`.
+        population: All device ids in the simulation.
+        down_now: Device ids crashed at close time.
+        closed_at: Close time (``sim.now``).
+    """
+    others = population - {record.originator}
+    contributed = frozenset(record.contributions) & others
+    reachable = frozenset(record.reachable_at_issue) & others
+    # A device that contributed is by definition accounted for, even if
+    # the issue-time reachability snapshot predates it (e.g. it rejoined
+    # the partition mid-query and its result still made it home).
+    unreachable = others - reachable - contributed
+    missing = reachable - contributed
+    lost = frozenset(m for m in missing if m in down_now)
+    expired = missing - lost
+    if record.aborted_by_crash:
+        outcome = "aborted-by-crash"
+    elif record.completion_time is not None:
+        outcome = "completed"
+    else:
+        outcome = "deadline-expired"
+    return CompletionReport(
+        query_key=record.query.key,
+        originator=record.originator,
+        outcome=outcome,
+        closed_at=closed_at,
+        contributed=contributed,
+        unreachable_at_issue=unreachable,
+        lost_to_fault=lost,
+        deadline_expired=expired,
+    )

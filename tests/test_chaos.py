@@ -1,0 +1,136 @@
+"""The seeded chaos harness: randomized fault schedules vs. the
+resilience invariant suite, plus sanity checks that the invariant
+checkers actually detect violations (a suite that can't fail proves
+nothing)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.chaos_sweep import (
+    SMOKE_SEEDS,
+    ChaosReport,
+    chaos_suite,
+    run_chaos_point,
+)
+from repro.net import Simulator
+from repro.resilience import CompletionReport
+from repro.resilience.invariants import (
+    check_closed_by_deadline,
+    check_completion_reports,
+    check_no_live_timers,
+    live_foreign_events,
+)
+
+
+class TestChaosSweep:
+    """Acceptance criterion: the invariant suite holds on >= 50
+    randomized seeds (here 50 seeds x 2 strategies = 100 runs)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return chaos_suite(range(100, 150))
+
+    def test_all_invariants_hold(self, report):
+        assert report.ok, "\n".join(report.violations)
+        assert len(report.points) == 100
+
+    def test_every_point_ran_real_chaos(self, report):
+        for point in report.points:
+            assert point.queries > 0
+            assert point.fault_events >= 10, (
+                f"seed {point.seed}: schedule too tame "
+                f"({point.fault_events} fault events)"
+            )
+            assert 0.0 <= point.coverage <= 1.0
+
+    def test_outcomes_are_graded_not_binary(self, report):
+        # Chaos is harsh enough that some queries expire, mild enough
+        # that some complete — the harness exercises graded completion,
+        # not a wall of one outcome.
+        assert sum(p.completed for p in report.points) > 0
+        assert sum(p.deadline_expired for p in report.points) > 0
+
+    def test_failover_path_is_exercised(self, report):
+        df_points = [p for p in report.points if p.strategy == "df"]
+        assert sum(p.failovers for p in df_points) >= 1
+
+    def test_render_summarises_every_point(self, report):
+        text = report.render()
+        assert "coverage" in text
+        assert str(report.points[0].seed) in text
+
+
+class TestSmokeSeeds:
+    """The 5 pinned CI smoke seeds stay clean (same seeds as
+    ``repro chaos --smoke``)."""
+
+    def test_pinned_seeds_clean(self):
+        report = chaos_suite(SMOKE_SEEDS)
+        assert report.ok, "\n".join(report.violations)
+        assert len(report.points) == 2 * len(SMOKE_SEEDS)
+
+    def test_point_determinism(self):
+        a = run_chaos_point(SMOKE_SEEDS[0], "df")
+        b = run_chaos_point(SMOKE_SEEDS[0], "df")
+        assert a == b
+
+
+class TestInvariantCheckersDetectViolations:
+    """Negative controls: feed each checker a known-bad input."""
+
+    def record(self, report, closed=True, closed_at=5.0):
+        return SimpleNamespace(
+            key=(0, 1), closed=closed, closed_at=closed_at,
+            issue_time=0.0, report=report,
+        )
+
+    def good_report(self):
+        return CompletionReport(
+            query_key=(0, 1), originator=0, outcome="completed",
+            closed_at=5.0, contributed=frozenset({1}),
+            unreachable_at_issue=frozenset(),
+            lost_to_fault=frozenset(), deadline_expired=frozenset(),
+        )
+
+    def test_unclosed_record_flagged(self):
+        good = self.record(self.good_report())
+        bad = self.record(None, closed=False, closed_at=None)
+        assert check_closed_by_deadline([good], deadline=60.0) == []
+        assert check_closed_by_deadline([good, bad], deadline=60.0)
+
+    def test_late_close_flagged(self):
+        late = self.record(self.good_report(), closed_at=61.0)
+        assert check_closed_by_deadline([late], deadline=60.0)
+
+    def test_missing_report_flagged(self):
+        assert check_completion_reports(
+            [self.record(None)], population=frozenset({0, 1})
+        )
+
+    def test_tampered_partition_flagged(self):
+        report = self.good_report()
+        population = frozenset({0, 1})
+        assert check_completion_reports(
+            [self.record(report)], population
+        ) == []
+        # population grows by a device the report never classified
+        assert check_completion_reports(
+            [self.record(report)], population=frozenset({0, 1, 2})
+        )
+        # a device classified twice breaks the partition the other way
+        double = CompletionReport(
+            query_key=(0, 1), originator=0, outcome="completed",
+            closed_at=5.0, contributed=frozenset({1}),
+            unreachable_at_issue=frozenset({1}),
+            lost_to_fault=frozenset(), deadline_expired=frozenset(),
+        )
+        assert not double.is_exact_partition(population)
+        assert check_completion_reports([self.record(double)], population)
+
+    def test_live_timer_flagged(self):
+        sim = Simulator()
+        assert check_no_live_timers(sim) == []
+        sim.schedule(10.0, lambda: None)
+        assert live_foreign_events(sim)
+        assert check_no_live_timers(sim)

@@ -70,7 +70,25 @@ class TestFaultEvent:
 
     def test_signature(self):
         event = FaultEvent(time=2.0, kind="node-crash", node=7)
-        assert event.signature() == (2.0, "node-crash", 7, None, None)
+        assert event.signature() == (
+            2.0, "node-crash", 7, None, None, None, None, None,
+        )
+
+    def test_new_kind_validation(self):
+        with pytest.raises(ValueError, match="axis"):
+            FaultEvent(time=0.0, kind="partition-split", coord=10.0)
+        with pytest.raises(ValueError, match="axis"):
+            FaultEvent(time=0.0, kind="partition-split", axis="z", coord=1.0)
+        with pytest.raises(ValueError, match="coord"):
+            FaultEvent(time=0.0, kind="partition-heal", axis="x")
+        with pytest.raises(ValueError, match="loss_rate"):
+            FaultEvent(time=0.0, kind="dup-start")
+        with pytest.raises(ValueError, match="loss_rate"):
+            FaultEvent(time=0.0, kind="dup-start", loss_rate=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            FaultEvent(time=0.0, kind="jitter-start")
+        with pytest.raises(ValueError, match="jitter"):
+            FaultEvent(time=0.0, kind="jitter-start", jitter=0.0)
 
 
 class TestFaultSchedule:
@@ -319,6 +337,240 @@ class TestFaultInjector:
             return injector.applied_signature()
 
         assert run() == run()
+
+
+class TestOverlappingFaultWindows:
+    """Faults stacked inside other faults' windows (satellite: the
+    injector must compose transitions, not assume disjoint windows)."""
+
+    def test_crash_inside_link_blackout(self):
+        # Blackout 0-1 over [1, 10); node 1 crashes and recovers inside
+        # that window. After both windows end, the pair communicates.
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        schedule = (
+            FaultSchedule()
+            .link_blackout(1.0, 0, 1, duration=9.0)
+            .crash(3.0, node=1, downtime=4.0)
+        )
+        injector = FaultInjector(schedule).install(world)
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(
+            (world.node_is_up(1), world.can_communicate(0, 1))))
+        sim.schedule_at(8.0, lambda: seen.append(
+            (world.node_is_up(1), world.can_communicate(0, 1))))
+        sim.schedule_at(11.0, lambda: seen.append(
+            (world.node_is_up(1), world.can_communicate(0, 1))))
+        sim.run()
+        # crashed+blacked-out; recovered but still blacked-out; clean
+        assert seen == [(False, False), (True, False), (True, True)]
+        assert all(applied[-1] for applied in injector.applied)
+        assert nodes[1].crashes == 1 and nodes[1].recoveries == 1
+
+    def test_back_to_back_loss_bursts(self):
+        # Second burst starts exactly when the first ends. The kind
+        # order in FAULT_KINDS is the same-time tiebreak and lists
+        # start before end, so at the shared instant the LIFO override
+        # stack becomes [0.9, 0.4] and the end pops 0.4 — the first
+        # burst's rate stays in force until the second burst's own end
+        # empties the stack. Crucially, no instant ever sees rate 0.
+        sim, world, _ = make_world([(0, 0), (100, 0)])
+        schedule = (
+            FaultSchedule()
+            .loss_burst(1.0, rate=0.9, duration=4.0)
+            .loss_burst(5.0, rate=0.4, duration=4.0)
+        )
+        FaultInjector(schedule).install(world)
+        seen = []
+        for t in (2.0, 6.0, 10.0):
+            sim.schedule_at(t, lambda: seen.append(world.effective_loss_rate))
+        sim.run()
+        assert seen == [0.9, 0.9, 0.0]
+
+
+class TestPartitionFaults:
+    def test_partition_blocks_cross_side_communication(self):
+        # Chain 0-1-2-3 along x; cut at x=350 separates {0,1} from {2,3}.
+        sim, world, nodes = make_world(
+            [(0, 0), (200, 0), (400, 0), (600, 0)]
+        )
+        assert world.can_communicate(1, 2)
+        assert world.set_partition("x", 350.0, True)
+        assert world.partitions == (("x", 350.0),)
+        assert not world.can_communicate(1, 2)
+        assert world.can_communicate(0, 1)
+        assert world.can_communicate(2, 3)
+        assert world.reachable_from(0) == {0, 1}
+        failures = []
+        world.send(
+            Frame(kind=FrameKind.DATA, src=1, dst=2),
+            on_failure=failures.append,
+        )
+        sim.run()
+        assert nodes[2].received == []
+        assert len(failures) == 1
+        # healing an active cut is effective, healing again is not
+        assert world.set_partition("x", 350.0, False)
+        assert not world.set_partition("x", 350.0, False)
+        assert world.can_communicate(1, 2)
+
+    def test_cached_and_uncached_sides_agree(self):
+        positions = [(50.0 * i, 40.0 * ((i * 7) % 5)) for i in range(12)]
+        for cached in (True, False):
+            sim = Simulator()
+            world = World(
+                sim, StaticPlacement(positions), RadioConfig(),
+                seed=0, cache=cached,
+            )
+            for i in range(len(positions)):
+                Recorder(world, i)
+            world.set_partition("x", 260.0, True)
+            world.set_partition("y", 90.0, True)
+            answer = [world.neighbors(i) for i in range(len(positions))]
+            if cached:
+                cached_answer = answer
+        assert answer == cached_answer
+
+    def test_partition_validation(self):
+        _, world, _ = make_world([(0, 0), (100, 0)])
+        with pytest.raises(ValueError):
+            world.set_partition("z", 100.0, True)
+
+    def test_same_cut_windows_stack(self):
+        # Two overlapping windows of the identical cut: splits stack,
+        # each heal removes one copy, so the cut stays active until the
+        # outer window's heal — and the inner heal is still "effective".
+        sim, world, _ = make_world([(0, 0), (500, 0)])
+        schedule = (
+            FaultSchedule()
+            .partition(1.0, "x", 250.0, duration=10.0)
+            .partition(2.0, "x", 250.0, duration=3.0)
+        )
+        injector = FaultInjector(schedule).install(world)
+        seen = []
+        for t in (6.0, 12.0):
+            sim.schedule_at(t, lambda: seen.append(len(world.partitions)))
+        sim.run()
+        assert seen == [1, 0]  # inner heal left the outer window active
+        assert [a[-1] for a in injector.applied] == [True, True, True, True]
+
+
+class TestDuplicationFaults:
+    def test_rate_one_doubles_unicast_deliveries(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        world.set_duplication(1.0)
+        world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        sim.run()
+        assert len(nodes[1].received) == 2
+        assert world.stats.duplicates == 1
+        world.set_duplication(None)
+        world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        sim.run()
+        assert len(nodes[1].received) == 3
+        with pytest.raises(ValueError):
+            world.set_duplication(1.5)
+
+    def test_rate_one_doubles_broadcast_deliveries(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0), (200, 0)])
+        world.set_duplication(1.0)
+        world.broadcast(Frame(kind=FrameKind.QUERY, src=1, dst=None))
+        sim.run()
+        assert len(nodes[0].received) == 2
+        assert len(nodes[2].received) == 2
+        assert world.stats.duplicates == 2
+
+    def test_windows_stack_like_loss_bursts(self):
+        sim, world, _ = make_world([(0, 0), (100, 0)])
+        schedule = (
+            FaultSchedule()
+            .duplication(1.0, rate=0.5, duration=10.0)
+            .duplication(3.0, rate=0.9, duration=2.0)
+        )
+        FaultInjector(schedule).install(world)
+        seen = []
+        for t in (2.0, 4.0, 6.0, 12.0):
+            sim.schedule_at(t, lambda: seen.append(world.duplication_rate))
+        sim.run()
+        assert seen == [0.5, 0.9, 0.5, 0.0]
+
+
+class TestJitterFaults:
+    def test_jitter_delays_but_delivers(self):
+        sim, world, nodes = make_world([(0, 0), (100, 0)])
+        base = world.radio.transfer_delay(
+            Frame(kind=FrameKind.DATA, src=0, dst=1).size_bytes
+        )
+        world.set_delay_jitter(0.5)
+        arrivals = []
+        for _ in range(10):
+            world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+        nodes[1].on_frame = lambda frame, sender: arrivals.append(sim.now)
+        sim.run()
+        assert len(arrivals) == 10
+        assert all(base - 1e-12 <= t <= base + 0.5 + 1e-12 for t in arrivals)
+        assert any(t > base + 1e-12 for t in arrivals)
+        world.set_delay_jitter(None)
+        with pytest.raises(ValueError):
+            world.set_delay_jitter(-0.1)
+
+    def test_jittered_runs_stay_deterministic(self):
+        def run():
+            sim, world, nodes = make_world([(0, 0), (100, 0)], seed=5)
+            world.set_delay_jitter(0.3)
+            arrivals = []
+            nodes[1].on_frame = lambda frame, sender: arrivals.append(sim.now)
+            for _ in range(5):
+                world.send(Frame(kind=FrameKind.DATA, src=0, dst=1))
+            sim.run()
+            return arrivals
+
+        assert run() == run()
+
+
+class TestGenerateNewFamilies:
+    def test_generate_draws_all_families(self):
+        schedule = FaultSchedule.generate(
+            node_count=9, sim_time=100.0, seed=5,
+            crash_fraction=0.3, link_blackouts=1, loss_bursts=1,
+            partitions=2, dup_windows=1, jitter_windows=1,
+        )
+        kinds = {e.kind for e in schedule}
+        assert "partition-split" in kinds
+        assert "dup-start" in kinds and "dup-end" in kinds
+        assert "jitter-start" in kinds and "jitter-end" in kinds
+        for event in schedule:
+            if event.kind == "partition-split":
+                assert event.axis in ("x", "y")
+                span = 1000.0
+                assert 0.25 * span <= event.coord <= 0.75 * span
+
+    def test_generate_deterministic_with_new_families(self):
+        kwargs = dict(
+            node_count=9, sim_time=100.0, crash_fraction=0.3,
+            partitions=1, dup_windows=1, jitter_windows=1,
+        )
+        a = FaultSchedule.generate(seed=5, **kwargs)
+        b = FaultSchedule.generate(seed=5, **kwargs)
+        assert a.signature() == b.signature()
+
+    def test_original_families_unchanged_by_extension(self):
+        # Appending the new draw families must not disturb schedules
+        # generated with only the original arguments: the crash /
+        # blackout / burst draws happen first, exactly as before.
+        kwargs = dict(
+            node_count=9, sim_time=100.0, seed=5,
+            crash_fraction=0.3, link_blackouts=1, loss_bursts=1,
+        )
+        plain = FaultSchedule.generate(**kwargs)
+        extended = FaultSchedule.generate(
+            partitions=1, dup_windows=1, jitter_windows=1, **kwargs
+        )
+        old_kinds = (
+            "node-crash", "node-recover", "link-down", "link-up",
+            "loss-burst-start", "loss-burst-end",
+        )
+        assert tuple(
+            e.signature() for e in extended if e.kind in old_kinds
+        ) == plain.signature()
 
 
 class _StubRecord:
