@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""Delta-maintenance vs. naive re-flood benchmark for subscriptions.
+
+Runs the same continuous-subscription scenario (same seeded dataset,
+static connected grid, same data-update schedule) in both maintenance
+modes and measures what each pays per refresh epoch:
+
+* ``delta`` — the tentpole: subscribers self-tick, safe regions prove
+  silence sound, only skyline-membership changes travel;
+* ``reflood`` — the baseline: the originator re-floods the query every
+  epoch and every subscriber reports its full local skyline.
+
+Headline properties, enforced by ``validate()`` on every emitted file
+and by CI against the committed ``BENCH_continuous.json``:
+
+1. **Delta strictly dominates re-flood on messages per refresh** at
+   every update intensity.
+2. Both modes stay **bit-exact** against a fresh centralized reference
+   at every refresh epoch (fault-free connected runs), so the message
+   savings are not bought with staleness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_continuous.py            # full run
+    PYTHONPATH=src python benchmarks/bench_continuous.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_continuous.py --check BENCH_continuous.json
+    PYTHONPATH=src python benchmarks/bench_continuous.py \
+        --check new.json --baseline BENCH_continuous.json
+
+Runs are seed-deterministic, so ``--baseline`` compares message counts
+with a small relative tolerance rather than a wall-time factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Sequence
+
+SCHEMA_VERSION = "bench_continuous/v1"
+#: Data-update events per subscription lifetime — the sweep axis: the
+#: busier the data, the more deltas flow, and re-flood pays the same
+#: regardless.
+UPDATE_COUNTS = (0, 4, 8, 16)
+MODES = ("delta", "reflood")
+POINT_FIELDS = (
+    "messages_per_refresh", "routed_frames", "max_divergence",
+    "complete_epochs", "epochs",
+)
+#: Seeds averaged per point; each derives dataset + update schedule.
+SEEDS = (401, 402, 403)
+#: Relative messages-per-refresh tolerance for --check --baseline.
+MESSAGE_TOLERANCE = 0.25
+
+_DEVICES = 9
+_CARDINALITY = 450
+_EPOCHS = 5
+
+
+def _run_point(mode: str, updates: int, seed: int) -> Dict[str, float]:
+    from repro.continuous import (
+        ContinuousConfig,
+        run_continuous_simulation,
+        verify_continuous_run,
+    )
+
+    config = ContinuousConfig(
+        mode=mode,
+        devices=_DEVICES,
+        cardinality=_CARDINALITY,
+        epochs=_EPOCHS,
+        d=600.0,
+        seed=seed,
+        data_updates=updates,
+        static_grid=True,
+        loss_rate=0.0,
+    )
+    result = run_continuous_simulation(config, keep_network=True)
+    violations = verify_continuous_run(result)
+    if violations:  # pragma: no cover - the invariant suite gates this
+        raise AssertionError(
+            f"continuous invariants violated (mode={mode}, seed={seed}): "
+            + "; ".join(violations)
+        )
+    record = result.record
+    return {
+        "messages_per_refresh": result.messages_per_refresh,
+        # Routed unicast hops (DELTA reports and their ACKs travel as
+        # DATA frames; the router attributes them here).
+        "routed_frames": float(
+            result.traffic.by_kind.get("data", 0)
+        ),
+        "max_divergence": float(result.max_divergence or 0.0),
+        "complete_epochs": float(sum(
+            1 for e in record.epochs
+            if e.report is not None and e.report.outcome == "completed"
+        )),
+        "epochs": float(len(record.epochs)),
+    }
+
+
+def _mean_point(mode: str, updates: int,
+                seeds: Sequence[int]) -> Dict[str, float]:
+    points = [_run_point(mode, updates, seed) for seed in seeds]
+    n = len(points)
+    return {
+        "messages_per_refresh": sum(
+            p["messages_per_refresh"] for p in points
+        ) / n,
+        "routed_frames": sum(p["routed_frames"] for p in points),
+        "max_divergence": max(p["max_divergence"] for p in points),
+        "complete_epochs": sum(p["complete_epochs"] for p in points),
+        "epochs": sum(p["epochs"] for p in points),
+    }
+
+
+def run(smoke: bool) -> dict:
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "smoke": smoke,
+        "update_counts": list(UPDATE_COUNTS),
+        "seeds": list(SEEDS),
+        "curves": {mode: {} for mode in MODES},
+    }
+    for mode in MODES:
+        print(f"sweeping {mode} ...", file=sys.stderr)
+        for updates in UPDATE_COUNTS:
+            doc["curves"][mode][str(updates)] = _mean_point(
+                mode, updates, SEEDS
+            )
+    return doc
+
+
+# -- schema ------------------------------------------------------------------
+
+
+def validate(doc: dict) -> List[str]:
+    """Schema + headline-property check; empty list == valid."""
+    errors: List[str] = []
+
+    def num(x) -> bool:
+        return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(f"schema must be {SCHEMA_VERSION!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("smoke must be a bool")
+    if doc.get("update_counts") != list(UPDATE_COUNTS):
+        errors.append(f"update_counts must be {list(UPDATE_COUNTS)}")
+    curves = doc.get("curves")
+    if not isinstance(curves, dict):
+        return errors + ["curves must be an object"]
+    for mode in MODES:
+        curve = curves.get(mode)
+        if not isinstance(curve, dict):
+            errors.append(f"curves.{mode} missing")
+            continue
+        for updates in UPDATE_COUNTS:
+            point = curve.get(str(updates))
+            if not isinstance(point, dict):
+                errors.append(f"curves.{mode}.{updates} missing")
+                continue
+            for field in POINT_FIELDS:
+                if not num(point.get(field)):
+                    errors.append(
+                        f"curves.{mode}.{updates}.{field} must be numeric"
+                    )
+    if errors:
+        return errors
+    # Headline properties of the committed curves.
+    for updates in UPDATE_COUNTS:
+        key = str(updates)
+        delta = curves["delta"][key]["messages_per_refresh"]
+        reflood = curves["reflood"][key]["messages_per_refresh"]
+        if not delta < reflood:
+            errors.append(
+                f"delta messages/refresh at updates={updates} "
+                f"({delta:.1f}) must be strictly below reflood "
+                f"({reflood:.1f})"
+            )
+        for mode in MODES:
+            point = curves[mode][key]
+            if point["max_divergence"] != 0.0:
+                errors.append(
+                    f"curves.{mode}.{updates}: fault-free connected runs "
+                    f"must be bit-exact (max_divergence "
+                    f"{point['max_divergence']})"
+                )
+            if point["complete_epochs"] != point["epochs"]:
+                errors.append(
+                    f"curves.{mode}.{updates}: every epoch must close "
+                    f"complete on a connected fault-free run"
+                )
+    return errors
+
+
+def compare_baseline(doc: dict, baseline: dict) -> List[str]:
+    """Message-count drift gate against the committed curves."""
+    errors: List[str] = []
+    for mode in MODES:
+        for updates in UPDATE_COUNTS:
+            key = str(updates)
+            try:
+                new = doc["curves"][mode][key]["messages_per_refresh"]
+                old = baseline["curves"][mode][key]["messages_per_refresh"]
+            except (KeyError, TypeError):
+                errors.append(f"curves.{mode}.{key} missing on one side")
+                continue
+            if abs(new - old) > MESSAGE_TOLERANCE * max(old, 1.0):
+                errors.append(
+                    f"curves.{mode}.{key}: messages/refresh {new:.1f} vs "
+                    f"baseline {old:.1f} (drift > "
+                    f"{MESSAGE_TOLERANCE:.0%})"
+                )
+    return errors
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI variant (the sweep is ~1 s, so this runs "
+                             "the identical grid; the flag is recorded in "
+                             "the output)")
+    parser.add_argument("--out", default="BENCH_continuous.json",
+                        help="output path (default: BENCH_continuous.json)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing output file and exit")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help=("with --check: fail if messages/refresh "
+                              f"drifts more than {MESSAGE_TOLERANCE:.0%} "
+                              "vs this file"))
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as fh:
+            doc = json.load(fh)
+        errors = validate(doc)
+        if args.baseline:
+            with open(args.baseline) as fh:
+                base = json.load(fh)
+            errors += [f"schema violation in baseline: {e}"
+                       for e in validate(base)]
+            if not errors:
+                errors += compare_baseline(doc, base)
+        if errors:
+            for err in errors:
+                print(f"check failure: {err}", file=sys.stderr)
+            return 1
+        busiest = str(UPDATE_COUNTS[-1])
+        print(
+            f"{args.check}: valid ({SCHEMA_VERSION}); at "
+            f"updates={busiest}: delta "
+            f"{doc['curves']['delta'][busiest]['messages_per_refresh']:.1f} "
+            f"vs reflood "
+            f"{doc['curves']['reflood'][busiest]['messages_per_refresh']:.1f}"
+            f" msg/refresh"
+            + ("; baseline within tolerance" if args.baseline else "")
+        )
+        return 0
+
+    doc = run(smoke=args.smoke)
+    errors = validate(doc)
+    if errors:  # pragma: no cover - self-check
+        for err in errors:
+            print(f"internal schema violation: {err}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for mode in MODES:
+        points = ", ".join(
+            f"{u}: {doc['curves'][mode][str(u)]['messages_per_refresh']:.1f}"
+            for u in UPDATE_COUNTS
+        )
+        print(f"{mode:>8}: msg/refresh {points}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,12 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_FIGURES) + ["trace", "chaos"],
+        choices=sorted(_FIGURES) + ["trace", "chaos", "continuous"],
         help=(
             "which figure (or figure group) to regenerate; 'trace' runs "
             "one observed simulation per strategy and prints its "
             "query-lifecycle summary; 'chaos' runs the seeded fault "
-            "harness and checks the resilience invariants"
+            "harness and checks the resilience invariants; 'continuous' "
+            "sweeps delta-maintained subscriptions against the naive "
+            "re-flood baseline and checks the per-epoch invariants"
         ),
     )
     parser.add_argument(
@@ -140,8 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help=(
-            "for the 'chaos' command: run only the 5 pinned smoke seeds "
-            "(the CI tier) instead of --seeds randomized ones"
+            "for the 'chaos' and 'continuous' commands: run only the 5 "
+            "pinned smoke seeds (the CI tier) instead of --seeds "
+            "randomized ones"
         ),
     )
     parser.add_argument(
@@ -150,8 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=50,
         metavar="N",
         help=(
-            "for the 'chaos' command: number of chaos seeds to sweep "
-            "(default: 50; each seed runs once per strategy)"
+            "for the 'chaos' and 'continuous' commands: number of seeds "
+            "to sweep (default: 50)"
         ),
     )
     parser.add_argument(
@@ -159,7 +162,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=100,
         metavar="S",
-        help="for the 'chaos' command: first chaos seed (default: 100)",
+        help=(
+            "for the 'chaos' and 'continuous' commands: first seed "
+            "(default: 100)"
+        ),
+    )
+    parser.add_argument(
+        "--grid",
+        action="store_true",
+        help=(
+            "for the 'continuous' command: place devices on a static "
+            "connected grid (the exactness setting) instead of random "
+            "waypoint mobility"
+        ),
     )
     parser.add_argument(
         "--local-path",
@@ -223,6 +238,33 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _run_continuous(args) -> int:
+    """The ``continuous`` command: delta vs. re-flood subscription sweep."""
+    from .experiments.continuous_sweep import (
+        CONTINUOUS_SMOKE_SEEDS,
+        continuous_suite,
+    )
+
+    if args.smoke:
+        seeds = list(CONTINUOUS_SMOKE_SEEDS)
+    else:
+        if args.seeds < 1:
+            print("error: --seeds must be >= 1", file=sys.stderr)
+            return 2
+        seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    start = time.time()
+    report = continuous_suite(seeds, static_grid=args.grid, progress=5)
+    print(report.render())
+    print(f"  [{time.time() - start:.1f}s]")
+    if not report.ok:
+        print()
+        print("continuous violations:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro`` / ``repro-skyline``."""
     args = build_parser().parse_args(argv)
@@ -237,6 +279,8 @@ def main(argv=None) -> int:
         configure_telemetry(args.obs)
     if args.figure == "chaos":
         return _run_chaos(args)
+    if args.figure == "continuous":
+        return _run_continuous(args)
     scale = ex.get_scale(args.scale)
     if args.figure == "trace":
         return _run_trace(args, scale)

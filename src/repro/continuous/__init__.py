@@ -1,0 +1,53 @@
+"""Continuous skyline subscriptions with incremental delta maintenance.
+
+Long-lived range-skyline subscriptions over the MANET: an originator
+installs a subscription with one flood, contributors report their local
+in-range skylines once in full, and afterwards only skyline-membership
+*changes* travel (routed DELTA frames under ACK/retry), gated by
+per-device safe regions that prove when silence is sound. Every refresh
+epoch closes with the same graded
+:class:`~repro.resilience.CompletionReport` accounting as a one-shot
+query.
+"""
+
+from .device import ContinuousDevice
+from .messages import (
+    MODES,
+    DeltaAckMessage,
+    DeltaMessage,
+    SubscribeMessage,
+    SubscriptionSpec,
+    UnsubscribeMessage,
+)
+from .runner import (
+    ContinuousConfig,
+    ContinuousResult,
+    continuous_protocol_config,
+    grid_placement,
+    run_continuous_simulation,
+    verify_continuous_run,
+)
+from .safe_region import SafeRegion, min_distance_to_mbr, relation_rows
+from .subscription import RefreshEpoch, SubscriptionRecord, apply_delta
+
+__all__ = [
+    "MODES",
+    "ContinuousConfig",
+    "ContinuousDevice",
+    "ContinuousResult",
+    "DeltaAckMessage",
+    "DeltaMessage",
+    "RefreshEpoch",
+    "SafeRegion",
+    "SubscribeMessage",
+    "SubscriptionRecord",
+    "SubscriptionSpec",
+    "UnsubscribeMessage",
+    "apply_delta",
+    "continuous_protocol_config",
+    "grid_placement",
+    "min_distance_to_mbr",
+    "relation_rows",
+    "run_continuous_simulation",
+    "verify_continuous_run",
+]

@@ -1,0 +1,683 @@
+"""The continuous-subscription device: BF machinery + delta maintenance.
+
+:class:`ContinuousDevice` extends the flood strategy device with a
+subscription plane:
+
+* **Originator side** — install/renew/cancel floods, per-epoch books
+  (:class:`~repro.continuous.subscription.SubscriptionRecord`), DELTA
+  acknowledgement, refresh-epoch deadline timers that re-arm through
+  the cancel-before-schedule path (the timer-reuse bugfix this PR
+  pins).
+* **Subscriber side** — enrollment with a full local in-range skyline
+  report, self-scheduled refresh ticks on the shared epoch clock
+  (``install_time + e * interval``; no per-epoch flood in delta mode),
+  safe-region silence, incremental DELTAs under ACK/retry recovery,
+  orphan reaping against a crashed originator at every tick (PR 6's
+  suppression contract).
+
+Fail-stop crash semantics carry over: a crashed subscriber loses its
+subscription state (it stops ticking and never reports again until a
+renew or reflood flood re-enrolls it); a crashed originator's
+subscription aborts and its subscribers reap themselves at their next
+tick.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..core.query import SkylineQuery
+from ..net.aodv import DataPacket
+from ..net.engine import EventHandle
+from ..net.messages import Frame, FrameKind
+from ..protocol.device import BFDevice
+from ..storage.relation import Relation
+from .messages import (
+    DeltaAckMessage,
+    DeltaMessage,
+    SubscribeMessage,
+    SubscriptionSpec,
+    UnsubscribeMessage,
+)
+from .safe_region import SafeRegion, relation_rows
+from .subscription import SubscriptionRecord
+
+__all__ = ["ContinuousDevice"]
+
+
+@dataclass
+class _SubscriberState:
+    """Contributor-side state for one enrolled subscription."""
+
+    spec: SubscriptionSpec
+    epochs_total: int
+    region: SafeRegion
+    tick_timer: Optional[EventHandle] = None
+
+
+@dataclass
+class _PendingDelta:
+    """A DELTA awaiting its application-level ACK."""
+
+    delta: DeltaMessage
+    origin: int
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+
+
+class ContinuousDevice(BFDevice):
+    """Flood-strategy device with continuous-subscription support."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Originator-side records, keyed by subscription key.
+        self.subscriptions: Dict[Tuple[int, int], SubscriptionRecord] = {}
+        #: Contributor-side enrollment state, keyed by subscription key.
+        self._subscriber: Dict[Tuple[int, int], _SubscriberState] = {}
+        #: Un-ACKed DELTAs, keyed by (subscription key, epoch).
+        self._pending_deltas: Dict[
+            Tuple[Tuple[int, int], int], _PendingDelta
+        ] = {}
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def on_crash(self) -> None:
+        for pending in self._pending_deltas.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending_deltas.clear()
+        for state in self._subscriber.values():
+            if state.tick_timer is not None:
+                state.tick_timer.cancel()
+        self._subscriber.clear()
+        for record in self.subscriptions.values():
+            if not record.closed:
+                record.status = "aborted"
+                record.cancel_timers()
+                if self.world.obs.enabled:
+                    self.world.obs.subscription_cancelled(
+                        record.key, self.node_id, "originator-crash"
+                    )
+        super().on_crash()
+
+    # -- originator API ------------------------------------------------------
+
+    def install_subscription(
+        self,
+        d: float,
+        interval: float,
+        epochs: int,
+        epoch_budget: float,
+        mode: str = "delta",
+        slack: float = 0.0,
+    ) -> SubscriptionRecord:
+        """Register a continuous range-skyline subscription and flood
+        its install message. Epoch 0 (the install epoch) closes after
+        ``epoch_budget``; refresh epoch ``e`` ticks at ``install_time +
+        e * interval``."""
+        query = SkylineQuery(
+            origin=self.node_id,
+            cnt=self.query_counter.next_value(),
+            pos=self.position,
+            d=d,
+        )
+        if query.key in self.subscriptions:  # pragma: no cover - cnt wraps
+            raise RuntimeError(f"subscription key {query.key} already live")
+        self.query_log.record(query)
+        spec = SubscriptionSpec(
+            query=query,
+            install_time=self.sim.now,
+            interval=interval,
+            epochs=epochs,
+            epoch_budget=epoch_budget,
+            mode=mode,
+            slack=slack,
+        )
+        record = SubscriptionRecord(
+            spec=spec, originator=self.node_id, epochs_total=epochs,
+        )
+        self.subscriptions[query.key] = record
+        local = self.compute_local(query, None)
+        record.own_report = local.skyline
+        record.own_data_epoch = self.data_epoch
+        record.reachable_at_tick = frozenset(
+            self.world.reachable_from(self.node_id)
+        )
+        record.messages_at_open = self.world.stats.protocol_messages()
+        if self.world.obs.enabled:
+            self.world.obs.subscription_installed(
+                query.key, self.node_id, d=d, interval=interval,
+                epochs=epochs, mode=mode,
+            )
+        self._broadcast_subscribe(
+            SubscribeMessage(
+                spec=spec, flood=query, kind="install", epoch=0,
+                epochs_total=epochs,
+            )
+        )
+        self._arm_epoch_close(record, 0, spec.install_time)
+        self._schedule_epoch_tick(record)
+        return record
+
+    def renew_subscription(
+        self, key: Tuple[int, int], extra_epochs: int
+    ) -> None:
+        """Extend a live subscription by ``extra_epochs`` refresh epochs
+        and flood the renewal (which also re-enrolls devices that lost
+        their subscriber state to a crash)."""
+        record = self.subscriptions.get(key)
+        if record is None or record.closed:
+            raise RuntimeError(f"no live subscription {key} to renew")
+        if extra_epochs <= 0:
+            raise ValueError("extra_epochs must be > 0")
+        record.epochs_total += extra_epochs
+        flood = replace(
+            record.spec.query, cnt=self.query_counter.next_value()
+        )
+        self.query_log.record(flood)
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "subscription.renew", query=key, node=self.node_id,
+                epochs_total=record.epochs_total,
+            )
+        self._broadcast_subscribe(
+            SubscribeMessage(
+                spec=record.spec, flood=flood, kind="renew",
+                epoch=record.current_epoch,
+                epochs_total=record.epochs_total,
+            )
+        )
+        self._schedule_epoch_tick(record)
+
+    def cancel_subscription(self, key: Tuple[int, int]) -> None:
+        """Tear a subscription down: stop its timers and flood the
+        unsubscribe so contributors drop their state."""
+        record = self.subscriptions.get(key)
+        if record is None or record.closed:
+            raise RuntimeError(f"no live subscription {key} to cancel")
+        record.status = "cancelled"
+        record.cancel_timers()
+        if self.world.obs.enabled:
+            self.world.obs.subscription_cancelled(
+                key, self.node_id, "cancelled"
+            )
+        flood = replace(
+            record.spec.query, cnt=self.query_counter.next_value()
+        )
+        self.query_log.record(flood)
+        message = UnsubscribeMessage(sub_key=key, flood=flood)
+        self.world.broadcast(
+            Frame(
+                kind=FrameKind.UNSUBSCRIBE,
+                src=self.node_id,
+                dst=None,
+                payload=message,
+                size_bytes=message.size_bytes(self.relation.dimensions),
+            )
+        )
+
+    # -- originator epoch machinery ------------------------------------------
+
+    def _arm_epoch_close(
+        self, record: SubscriptionRecord, epoch: int, tick_time: float
+    ) -> None:
+        """(Re-)arm the per-epoch deadline, cancelling any prior timer —
+        the same cancel-before-schedule contract as
+        ``SkylineDevice._arm_close_timer``: a refresh epoch re-arms the
+        subscription's deadline key, and the stale timer must not fire
+        into the new epoch or linger in the engine heap."""
+        if record.close_timer is not None:
+            record.close_timer.cancel()
+        delay = tick_time + record.spec.epoch_budget - self.sim.now
+        record.close_timer = self._schedule_guarded(
+            max(0.0, delay), self._close_epoch, record.key, epoch, tick_time
+        )
+
+    def _schedule_epoch_tick(self, record: SubscriptionRecord) -> None:
+        """Arm the originator's next refresh tick (cancel-then-arm)."""
+        if record.tick_timer is not None:
+            record.tick_timer.cancel()
+            record.tick_timer = None
+        next_epoch = record.current_epoch + 1
+        if next_epoch > record.epochs_total:
+            return
+        delay = record.spec.tick_time(next_epoch) - self.sim.now
+        record.tick_timer = self._schedule_guarded(
+            max(0.0, delay), self._epoch_tick, record.key, next_epoch
+        )
+
+    def _epoch_tick(self, key: Tuple[int, int], epoch: int) -> None:
+        record = self.subscriptions.get(key)
+        if record is None or record.closed:
+            return
+        record.current_epoch = epoch
+        record.tick_timer = None
+        record.reachable_at_tick = frozenset(
+            self.world.reachable_from(self.node_id)
+        )
+        if self.data_epoch != record.own_data_epoch:
+            local = self.compute_local(record.spec.query, None)
+            record.own_report = local.skyline
+            record.own_data_epoch = self.data_epoch
+        if record.spec.mode == "reflood":
+            flood = replace(
+                record.spec.query, cnt=self.query_counter.next_value()
+            )
+            self.query_log.record(flood)
+            self._broadcast_subscribe(
+                SubscribeMessage(
+                    spec=record.spec, flood=flood, kind="reflood",
+                    epoch=epoch, epochs_total=record.epochs_total,
+                )
+            )
+        self._arm_epoch_close(record, epoch, record.spec.tick_time(epoch))
+        self._schedule_epoch_tick(record)
+
+    def _close_epoch(
+        self, key: Tuple[int, int], epoch: int, tick_time: float
+    ) -> None:
+        record = self.subscriptions.get(key)
+        if record is None or record.closed:
+            return
+        record.close_timer = None
+        books = record.close_epoch(
+            epoch=epoch,
+            tick_time=tick_time,
+            closed_at=self.sim.now,
+            population=frozenset(self.world.node_ids),
+            down_now=frozenset(self.world.down_nodes),
+            crash_counts=self.world.crash_counts(),
+            messages_now=self.world.stats.protocol_messages(),
+            completion_report=self.config.resilience.completion_report,
+        )
+        if self.world.obs.enabled:
+            self.world.obs.subscription_refreshed(
+                key, self.node_id, epoch,
+                reporters=len(books.reporters),
+                covered=(
+                    len(books.report.contributed)
+                    if books.report is not None else None
+                ),
+                messages=books.messages,
+            )
+        if epoch >= record.epochs_total:
+            record.status = "expired"
+            record.cancel_timers()
+            if self.world.obs.enabled:
+                self.world.obs.subscription_cancelled(
+                    key, self.node_id, "expired"
+                )
+            return
+        if record.spec.mode == "delta":
+            covered = (
+                set(books.report.contributed)
+                if books.report is not None else set(books.reporters)
+            )
+            missing = (
+                set(self.world.node_ids) - {self.node_id} - covered
+            )
+            if missing:
+                # Healing flood: devices the epoch could not account for
+                # (partitioned at install, crashed and recovered, newly
+                # in radio range) get another chance to enroll. Already-
+                # enrolled devices dedup it in one hop via the query
+                # log, so the cost is one flood — and only on epochs
+                # with a coverage hole; reflood mode pays it always.
+                flood = replace(
+                    record.spec.query, cnt=self.query_counter.next_value()
+                )
+                self.query_log.record(flood)
+                if self.world.obs.enabled:
+                    self.world.obs.event(
+                        "subscription.heal-flood", query=key,
+                        node=self.node_id, epoch=epoch,
+                        missing=len(missing),
+                    )
+                    self.world.obs.metrics.counter(
+                        "continuous.heal_floods"
+                    ).inc()
+                self._broadcast_subscribe(
+                    SubscribeMessage(
+                        spec=record.spec, flood=flood, kind="renew",
+                        epoch=epoch, epochs_total=record.epochs_total,
+                    )
+                )
+
+    # -- frame dispatch ------------------------------------------------------
+
+    def on_protocol_frame(self, frame: Frame, sender: int) -> None:
+        if frame.kind == FrameKind.SUBSCRIBE and isinstance(
+            frame.payload, SubscribeMessage
+        ):
+            self._handle_subscribe_flood(frame.payload, sender)
+            return
+        if frame.kind == FrameKind.UNSUBSCRIBE and isinstance(
+            frame.payload, UnsubscribeMessage
+        ):
+            self._handle_unsubscribe_flood(frame.payload, sender)
+            return
+        super().on_protocol_frame(frame, sender)
+
+    def on_data(self, packet: DataPacket) -> None:
+        if packet.kind == FrameKind.DELTA and isinstance(
+            packet.payload, DeltaMessage
+        ):
+            self._accept_delta(packet.payload)
+            return
+        if packet.kind == FrameKind.ACK and isinstance(
+            packet.payload, DeltaAckMessage
+        ):
+            self._on_delta_ack(packet.payload)
+            return
+        super().on_data(packet)
+
+    # -- subscriber side -----------------------------------------------------
+
+    def _handle_subscribe_flood(
+        self, message: SubscribeMessage, sender: int
+    ) -> None:
+        origin = message.spec.query.origin
+        if origin == self.node_id:
+            return
+        if (
+            self.config.resilience.orphan_suppression
+            and not self.world.node_is_up(origin)
+        ):
+            self._reap_orphan(message.sub_key, "subscribe-flood")
+            return
+        self.router.learn_route(origin, sender, message.hops)
+        if not self.query_log.check_and_record(message.flood):
+            # Same flood via another path, or a fault-injected duplicate
+            # delivery: either way it was fully handled the first time.
+            return
+        self._broadcast_subscribe(replace(message, hops=message.hops + 1))
+        state = self._subscriber.get(message.sub_key)
+        if state is None:
+            self._enroll(message)
+            return
+        if message.kind == "renew":
+            state.epochs_total = message.epochs_total
+            self._schedule_subscriber_tick(message.sub_key, state)
+            return
+        if message.kind == "reflood":
+            # Naive mode: every epoch flood solicits a full report.
+            local = self.compute_local(message.spec.query, None)
+            state.region.note_report(
+                self.data_epoch, relation_rows(local.skyline)
+            )
+            self._ship_delta(
+                message.spec, message.epoch, local.skyline, full=True
+            )
+
+    def _enroll(self, message: SubscribeMessage) -> None:
+        """First contact with this subscription: full report + safe
+        region + (delta mode) self-scheduled refresh ticks."""
+        spec = message.spec
+        local = self.compute_local(spec.query, None)
+        region = SafeRegion.establish(
+            relation=self.relation,
+            pos=spec.query.pos,
+            d=spec.query.d,
+            slack=spec.slack,
+            data_epoch=self.data_epoch,
+            reported=local.skyline,
+        )
+        state = _SubscriberState(
+            spec=spec, epochs_total=message.epochs_total, region=region,
+        )
+        self._subscriber[spec.key] = state
+        self._ship_delta(spec, message.epoch, local.skyline, full=True)
+        if spec.mode == "delta":
+            self._schedule_subscriber_tick(spec.key, state)
+
+    def _schedule_subscriber_tick(
+        self, key: Tuple[int, int], state: _SubscriberState
+    ) -> None:
+        if state.tick_timer is not None:
+            state.tick_timer.cancel()
+            state.tick_timer = None
+        spec = state.spec
+        elapsed = self.sim.now - spec.install_time
+        next_epoch = max(1, int(math.floor(elapsed / spec.interval)) + 1)
+        if next_epoch > state.epochs_total:
+            return
+        delay = spec.tick_time(next_epoch) - self.sim.now
+        state.tick_timer = self._schedule_guarded(
+            max(0.0, delay), self._subscriber_tick, key, next_epoch
+        )
+
+    def _subscriber_tick(self, key: Tuple[int, int], epoch: int) -> None:
+        state = self._subscriber.get(key)
+        if state is None:
+            return
+        state.tick_timer = None
+        spec = state.spec
+        if epoch > state.epochs_total:
+            del self._subscriber[key]
+            return
+        origin = spec.query.origin
+        if (
+            self.config.resilience.orphan_suppression
+            and not self.world.node_is_up(origin)
+        ):
+            # PR 6's suppression contract, extended: a dead originator
+            # orphans the whole subscription, not just one message.
+            del self._subscriber[key]
+            self._reap_orphan(key, "subscription")
+            return
+        reason = state.region.silence_reason(self.data_epoch)
+        if reason is None:
+            local = self.compute_local(spec.query, None)
+            rows = relation_rows(local.skyline)
+            if state.region.unchanged(rows):
+                state.region.note_report(self.data_epoch, rows)
+                reason = "no-change"
+            else:
+                self._ship_incremental(state, epoch, local.skyline, rows)
+        if reason is not None and self.world.obs.enabled:
+            self.world.obs.event(
+                "safe-region.silent", query=key, node=self.node_id,
+                epoch=epoch, reason=reason,
+            )
+            self.world.obs.metrics.counter(
+                f"continuous.silent.{reason}"
+            ).inc()
+        if epoch >= state.epochs_total:
+            del self._subscriber[key]
+        else:
+            delay = spec.tick_time(epoch + 1) - self.sim.now
+            state.tick_timer = self._schedule_guarded(
+                max(0.0, delay), self._subscriber_tick, key, epoch + 1
+            )
+
+    def _ship_incremental(
+        self,
+        state: _SubscriberState,
+        epoch: int,
+        skyline: Relation,
+        rows: FrozenSet[Tuple],
+    ) -> None:
+        """Diff the fresh local skyline against the last report and ship
+        only the membership changes."""
+        last = state.region.last_report_rows
+        enter_rows = rows - last
+        current_sids = {int(s) for s in skyline.site_ids}
+        leaves = tuple(sorted(
+            {int(row[0]) for row in last} - current_sids
+        ))
+        if enter_rows:
+            mask = np.array(
+                [
+                    ((int(sid),) + tuple(float(v) for v in vals)) in enter_rows
+                    for sid, vals in zip(skyline.site_ids, skyline.values)
+                ],
+                dtype=bool,
+            )
+            enters = skyline.take(np.nonzero(mask)[0])
+        else:
+            enters = skyline.take(np.empty(0, dtype=np.int64))
+        state.region.note_report(self.data_epoch, rows)
+        delta = DeltaMessage(
+            sub_key=state.spec.key,
+            sender=self.node_id,
+            epoch=epoch,
+            enters=enters,
+            leaves=leaves,
+            full=False,
+            data_epoch=self.data_epoch,
+        )
+        if self.world.obs.enabled:
+            self.world.obs.delta_sent(
+                state.spec.key, self.node_id, epoch,
+                enters=enters.cardinality, leaves=len(leaves),
+            )
+        self._dispatch_delta(delta, state.spec.query.origin)
+
+    def _ship_delta(
+        self, spec: SubscriptionSpec, epoch: int, skyline: Relation,
+        full: bool,
+    ) -> None:
+        """Ship a full-slice report (install / renew / reflood)."""
+        delta = DeltaMessage(
+            sub_key=spec.key,
+            sender=self.node_id,
+            epoch=epoch,
+            enters=skyline,
+            leaves=(),
+            full=full,
+            data_epoch=self.data_epoch,
+        )
+        if self.world.obs.enabled:
+            self.world.obs.delta_sent(
+                spec.key, self.node_id, epoch,
+                enters=skyline.cardinality, leaves=0,
+            )
+        self._dispatch_delta(delta, spec.query.origin)
+
+    def _dispatch_delta(self, delta: DeltaMessage, origin: int) -> None:
+        """Route a DELTA home under the BF ACK/retry machinery."""
+        self._send_delta_frame(delta, origin)
+        if self.config.result_ack and self.config.result_retries > 0:
+            pending = _PendingDelta(delta=delta, origin=origin)
+            self._pending_deltas[(delta.sub_key, delta.epoch)] = pending
+            self._arm_delta_retry((delta.sub_key, delta.epoch), pending)
+
+    def _send_delta_frame(self, delta: DeltaMessage, origin: int) -> None:
+        self.router.send_data(
+            dest=origin,
+            kind=FrameKind.DELTA,
+            payload=delta,
+            size_bytes=delta.size_bytes(self.relation.dimensions),
+        )
+
+    def _arm_delta_retry(
+        self, tag: Tuple[Tuple[int, int], int], pending: _PendingDelta
+    ) -> None:
+        backoff = min(
+            self.config.ack_timeout * (2.0 ** pending.attempts),
+            self.config.ack_backoff_cap,
+        )
+        pending.timer = self._schedule_guarded(
+            backoff, self._retry_delta, tag
+        )
+
+    def _retry_delta(self, tag: Tuple[Tuple[int, int], int]) -> None:
+        pending = self._pending_deltas.get(tag)
+        if pending is None:
+            return
+        if (
+            self.config.resilience.orphan_suppression
+            and not self.world.node_is_up(pending.origin)
+        ):
+            del self._pending_deltas[tag]
+            self._reap_orphan(tag[0], "delta-retry")
+            return
+        if pending.attempts >= self.config.result_retries:
+            del self._pending_deltas[tag]
+            return
+        pending.attempts += 1
+        if self.world.obs.enabled:
+            self.world.obs.event(
+                "delta.retransmit", query=tag[0], node=self.node_id,
+                epoch=tag[1], attempt=pending.attempts,
+            )
+            self.world.obs.metrics.counter(
+                "continuous.deltas.retransmits"
+            ).inc()
+        self._send_delta_frame(pending.delta, pending.origin)
+        self._arm_delta_retry(tag, pending)
+
+    def _handle_unsubscribe_flood(
+        self, message: UnsubscribeMessage, sender: int
+    ) -> None:
+        if message.flood.origin == self.node_id:
+            return
+        if not self.query_log.check_and_record(message.flood):
+            return
+        self.world.broadcast(
+            Frame(
+                kind=FrameKind.UNSUBSCRIBE,
+                src=self.node_id,
+                dst=None,
+                payload=replace(message, hops=message.hops + 1),
+                size_bytes=message.size_bytes(self.relation.dimensions),
+            )
+        )
+        state = self._subscriber.pop(message.sub_key, None)
+        if state is not None:
+            if state.tick_timer is not None:
+                state.tick_timer.cancel()
+            for tag in [
+                t for t in self._pending_deltas if t[0] == message.sub_key
+            ]:
+                pending = self._pending_deltas.pop(tag)
+                if pending.timer is not None:
+                    pending.timer.cancel()
+
+    # -- originator DELTA intake ---------------------------------------------
+
+    def _accept_delta(self, delta: DeltaMessage) -> None:
+        """ACK every copy (even duplicates — an unacknowledged sender
+        keeps retransmitting), merge each ``(sender, epoch)`` once."""
+        if self.config.result_ack:
+            ack = DeltaAckMessage(sub_key=delta.sub_key, epoch=delta.epoch)
+            self.router.send_data(
+                dest=delta.sender,
+                kind=FrameKind.ACK,
+                payload=ack,
+                size_bytes=ack.size_bytes(),
+            )
+        record = self.subscriptions.get(delta.sub_key)
+        if record is None or record.closed:
+            return
+        fresh = record.accept_delta(
+            delta, self.world.crash_count(delta.sender)
+        )
+        if fresh and self.world.obs.enabled:
+            self.world.obs.delta_merged(
+                delta.sub_key, self.node_id, delta.sender, delta.epoch
+            )
+
+    def _on_delta_ack(self, ack: DeltaAckMessage) -> None:
+        pending = self._pending_deltas.pop((ack.sub_key, ack.epoch), None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+
+    # -- shared --------------------------------------------------------------
+
+    def _broadcast_subscribe(self, message: SubscribeMessage) -> None:
+        self.world.broadcast(
+            Frame(
+                kind=FrameKind.SUBSCRIBE,
+                src=self.node_id,
+                dst=None,
+                payload=message,
+                size_bytes=message.size_bytes(self.relation.dimensions),
+            )
+        )

@@ -1,0 +1,434 @@
+"""End-to-end continuous-subscription runs and their invariant suite.
+
+:func:`run_continuous_simulation` builds a MANET of
+:class:`~repro.continuous.device.ContinuousDevice` nodes, installs one
+subscription, drives a seeded data-update schedule (and optionally a
+fault schedule) through it, and captures a centralized reference answer
+just after every epoch close, so each
+:class:`~repro.continuous.subscription.RefreshEpoch` carries its own
+staleness measurement.
+
+:func:`verify_continuous_run` is the per-epoch sibling of the one-shot
+chaos invariant suite: epochs close on time, every epoch's completion
+report exactly partitions the population, fault-free runs track the
+reference bit-for-bit, and the engine heap drains clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.skyline import skyline_of_relation
+from ..data.partition import GlobalDataset, make_global_dataset
+from ..faults import (
+    DataUpdateSchedule,
+    FaultInjector,
+    FaultSchedule,
+    UpdateInjector,
+)
+from ..net.aodv import AodvConfig
+from ..net.engine import Simulator
+from ..net.mobility import (
+    DEFAULT_HOLDING_TIME,
+    DEFAULT_SPEED_RANGE,
+    MobilityModel,
+    RandomWaypoint,
+    StaticPlacement,
+)
+from ..net.world import RadioConfig, TrafficStats, World
+from ..obs.observer import Observer
+from ..protocol.device import ProtocolConfig
+from ..resilience import ResiliencePolicy
+from ..resilience.invariants import check_no_live_timers
+from ..storage.relation import union_all
+from .device import ContinuousDevice
+from .messages import MODES
+from .safe_region import relation_rows
+from .subscription import SubscriptionRecord
+
+__all__ = [
+    "ContinuousConfig",
+    "ContinuousResult",
+    "continuous_protocol_config",
+    "grid_placement",
+    "run_continuous_simulation",
+    "verify_continuous_run",
+]
+
+#: Reference snapshots are taken just *after* a refresh tick — late
+#: enough to order after the tick's own events, early enough that no
+#: guard-banded data update can land in between.
+_CAPTURE_EPS = 1e-3
+
+#: Auto-generated update schedules keep this fraction of the interval
+#: clear on both sides of every refresh tick, so an epoch's reports
+#: (computed at the tick in delta mode, at flood arrival — milliseconds
+#: later — in reflood mode) and its reference snapshot always observe
+#: the same data version. Explicit schedules can still race ticks; the
+#: exactness gate only applies to fault-free runs of the default draw.
+_UPDATE_GUARD = 0.15
+
+
+def grid_placement(devices: int, spacing: float = 150.0) -> StaticPlacement:
+    """A static square-ish grid with every neighbour inside the default
+    250 m radio range — the fully connected topology exactness gates
+    run on."""
+    import math as _math
+
+    side = int(_math.ceil(_math.sqrt(devices)))
+    return StaticPlacement([
+        ((i % side) * spacing, (i // side) * spacing)
+        for i in range(devices)
+    ])
+
+
+def _guarded_updates(config: "ContinuousConfig") -> DataUpdateSchedule:
+    """Draw a seeded update schedule that never races a refresh tick.
+
+    Each event lands in the interior of one epoch window —
+    ``tick + [guard, 1 - guard] * interval`` — so every device's report
+    for an epoch and the runner's reference snapshot observe the same
+    relation version.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(config.seed + 5)
+    schedule = DataUpdateSchedule()
+    for _ in range(config.data_updates):
+        device = int(rng.integers(config.devices))
+        slot = int(rng.integers(config.epochs))
+        offset = float(
+            rng.uniform(_UPDATE_GUARD, 1.0 - _UPDATE_GUARD)
+        ) * config.interval
+        fraction = min(1.0, max(1e-3, float(
+            rng.exponential(config.update_fraction)
+        )))
+        update_seed = int(rng.integers(0, 2**31 - 1))
+        schedule.update(
+            config.install_time + slot * config.interval + offset,
+            device, fraction, update_seed,
+        )
+    return schedule
+
+
+def continuous_protocol_config() -> ProtocolConfig:
+    """Protocol knobs for subscription runs: quick retries so a DELTA's
+    retransmission tail fits inside one epoch budget, orphan suppression
+    on so subscriber state reaps itself after an originator crash."""
+    return ProtocolConfig(
+        ack_timeout=1.5,
+        result_retries=2,
+        resilience=ResiliencePolicy(
+            deadline=60.0,
+            orphan_suppression=True,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ContinuousConfig:
+    """One continuous-subscription experiment, fully seeded.
+
+    Attributes:
+        mode: ``delta`` (incremental maintenance) or ``reflood``
+            (naive per-epoch re-flood) — the benchmark's comparison axis.
+        devices / cardinality / dimensions / distribution: Dataset shape
+            (one partition per device, sites static).
+        d: Subscription disk radius (metres from the originator's
+            install-time position).
+        originator: Device that installs the subscription.
+        install_time: When the install flood goes out.
+        interval / epochs / epoch_budget / slack: The subscription
+            schedule (see :class:`~repro.continuous.messages.SubscriptionSpec`).
+        data_updates: Events drawn into a seeded
+            :class:`~repro.faults.DataUpdateSchedule` covering the
+            subscription's lifetime (ignored when ``updates`` is given).
+        update_fraction: Mean changed-row fraction per drawn update.
+        updates: Explicit update schedule override.
+        faults: Optional fault schedule (crashes, blackouts, ...).
+        loss_rate: Radio loss rate (keep 0 for exactness gates).
+        seed: Master seed: dataset, mobility, loss, update draws.
+        drain_time: Extra simulated seconds after the last epoch close.
+        capture_reference: Snapshot the centralized answer after every
+            epoch close (costs nothing on the wire; pure bookkeeping).
+    """
+
+    mode: str = "delta"
+    devices: int = 9
+    cardinality: int = 900
+    dimensions: int = 2
+    distribution: str = "independent"
+    d: float = 250.0
+    originator: int = 0
+    install_time: float = 10.0
+    interval: float = 20.0
+    epochs: int = 5
+    epoch_budget: float = 8.0
+    slack: float = 0.0
+    data_updates: int = 6
+    update_fraction: float = 0.3
+    updates: Optional[DataUpdateSchedule] = None
+    faults: Optional[FaultSchedule] = None
+    loss_rate: float = 0.0
+    seed: int = 7
+    drain_time: float = 30.0
+    capture_reference: bool = True
+    #: Place devices on a static connected grid instead of random
+    #: waypoint — the setup for exactness gates, where every device is
+    #: reachable at every epoch and fault-free runs must be bit-exact.
+    static_grid: bool = False
+    protocol: ProtocolConfig = field(
+        default_factory=continuous_protocol_config
+    )
+    speed_range: Tuple[float, float] = DEFAULT_SPEED_RANGE
+    holding_time: float = DEFAULT_HOLDING_TIME
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if not 0 <= self.originator < self.devices:
+            raise ValueError("originator must be a valid device id")
+        if self.install_time < 0:
+            raise ValueError("install_time must be >= 0")
+
+    @property
+    def last_close(self) -> float:
+        """Simulated time of the final epoch's close."""
+        last_tick = self.install_time + self.epochs * self.interval
+        return (last_tick if self.epochs else self.install_time) \
+            + self.epoch_budget
+
+    @property
+    def horizon(self) -> float:
+        """Total simulated duration including drain."""
+        return self.last_close + self.drain_time
+
+
+@dataclass
+class ContinuousResult:
+    """Everything one subscription run produced."""
+
+    record: SubscriptionRecord
+    traffic: TrafficStats
+    dataset: GlobalDataset
+    config: ContinuousConfig
+    update_events: Tuple = ()
+    fault_events: Tuple = ()
+    network: Optional[Tuple] = None
+
+    @property
+    def epochs(self):
+        return self.record.epochs
+
+    @property
+    def messages_per_refresh(self) -> float:
+        """Mean protocol frames per refresh epoch (excluding the install
+        epoch, whose full-flood cost both modes share)."""
+        refresh = [e for e in self.record.epochs if e.epoch > 0]
+        if not refresh:
+            return 0.0
+        return sum(e.messages for e in refresh) / len(refresh)
+
+    @property
+    def max_divergence(self) -> Optional[float]:
+        """Worst staleness across epochs with a captured reference."""
+        divs = [
+            e.divergence for e in self.record.epochs
+            if e.divergence is not None
+        ]
+        return max(divs) if divs else None
+
+
+def run_continuous_simulation(
+    config: ContinuousConfig,
+    mobility: Optional[MobilityModel] = None,
+    observer: Optional[Observer] = None,
+    keep_network: bool = False,
+) -> ContinuousResult:
+    """Run one continuous-subscription experiment end to end."""
+    dataset = make_global_dataset(
+        config.cardinality, config.dimensions, config.devices,
+        config.distribution, seed=config.seed, value_step=1.0,
+    )
+    sim = Simulator()
+    if mobility is None and config.static_grid:
+        mobility = grid_placement(config.devices)
+    if mobility is None:
+        mobility = RandomWaypoint(
+            node_count=config.devices,
+            extent=dataset.schema.spatial_extent,
+            speed_range=config.speed_range,
+            holding_time=config.holding_time,
+            seed=config.seed,
+        )
+    world = World(
+        sim, mobility, RadioConfig(loss_rate=config.loss_rate),
+        seed=config.seed,
+    )
+    devices = [
+        ContinuousDevice(
+            world, i, dataset.local(i),
+            config=config.protocol, aodv_config=AodvConfig(),
+        )
+        for i in range(config.devices)
+    ]
+    if observer is not None:
+        observer.bind(world)
+    fault_injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        fault_injector = FaultInjector(config.faults).install(world)
+    updates = config.updates
+    if updates is None and config.data_updates > 0 and config.epochs > 0:
+        updates = _guarded_updates(config)
+    update_injector: Optional[UpdateInjector] = None
+    if updates is not None and updates:
+        update_injector = UpdateInjector(
+            updates, value_step=1.0
+        ).install(world, devices)
+
+    originator = devices[config.originator]
+    installed: List[SubscriptionRecord] = []
+
+    def install() -> None:
+        installed.append(
+            originator.install_subscription(
+                d=config.d,
+                interval=config.interval,
+                epochs=config.epochs,
+                epoch_budget=config.epoch_budget,
+                mode=config.mode,
+                slack=config.slack,
+            )
+        )
+
+    sim.schedule_at(config.install_time, install)
+
+    references: dict = {}
+
+    def capture(epoch: int) -> None:
+        if not installed:
+            return
+        # The reference is the answer a fresh centralized query would
+        # see at the refresh instant: the skyline of every device's
+        # current data restricted to the subscription disk. Data
+        # survives crashes (storage is not volatile state), so all
+        # devices contribute.
+        query = installed[0].spec.query
+        slices = [
+            device.relation.restrict(query.pos, query.d)
+            for device in devices
+        ]
+        references[epoch] = relation_rows(
+            skyline_of_relation(union_all(slices))
+        )
+
+    if config.capture_reference:
+        for epoch in range(config.epochs + 1):
+            tick_at = config.install_time + epoch * config.interval
+            sim.schedule_at(tick_at + _CAPTURE_EPS, capture, epoch)
+
+    sim.run(until=config.horizon)
+
+    if not installed:  # pragma: no cover - install is unconditional
+        raise RuntimeError("subscription was never installed")
+    for books in installed[0].epochs:
+        if books.epoch in references:
+            books.reference_rows = references[books.epoch]
+    return ContinuousResult(
+        record=installed[0],
+        traffic=world.stats,
+        dataset=dataset,
+        config=config,
+        update_events=(
+            update_injector.applied_signature()
+            if update_injector is not None else ()
+        ),
+        fault_events=(
+            fault_injector.applied_signature()
+            if fault_injector is not None else ()
+        ),
+        network=(sim, world, devices) if keep_network else None,
+    )
+
+
+def verify_continuous_run(result: ContinuousResult) -> List[str]:
+    """Assert the continuous layer's invariants on a finished run.
+
+    Checks (violations returned as strings, empty list = clean):
+
+    1. The subscription reached a terminal state (expired / cancelled /
+       aborted) — nothing left half-open after the drain.
+    2. Every expected epoch closed exactly once, in order, each within
+       its budget of its tick.
+    3. Every epoch's completion report (when attached) exactly
+       partitions the device population — the one-shot partition
+       invariant, applied per refresh.
+    4. On fault-free lossless runs: every captured epoch is exact
+       (divergence 0.0) and covers the full population.
+    5. The engine heap drained clean (when the network was kept).
+    """
+    violations: List[str] = []
+    record = result.record
+    config = result.config
+    if not record.closed:
+        violations.append(
+            f"subscription {record.key} still {record.status!r} after drain"
+        )
+    if record.status == "expired":
+        expected = list(range(record.epochs_total + 1))
+        got = [e.epoch for e in record.epochs]
+        if got != expected:
+            violations.append(
+                f"epoch sequence {got} != expected {expected}"
+            )
+    seen = set()
+    for books in record.epochs:
+        if books.epoch in seen:
+            violations.append(f"epoch {books.epoch} closed twice")
+        seen.add(books.epoch)
+        lag = books.closed_at - books.tick_time
+        if lag > config.epoch_budget + 1e-9:
+            violations.append(
+                f"epoch {books.epoch} closed {lag:.3f}s after its tick "
+                f"(budget {config.epoch_budget})"
+            )
+        if books.report is not None and not books.report.is_exact_partition(
+            frozenset(range(config.devices))
+        ):
+            violations.append(
+                f"epoch {books.epoch} report does not partition the "
+                f"population"
+            )
+    fault_free = (
+        result.config.faults is None and result.config.loss_rate == 0.0
+    )
+    if fault_free:
+        for books in record.epochs:
+            complete = (
+                books.report is not None
+                and books.report.outcome == "completed"
+            )
+            if config.static_grid and not complete:
+                # On a fully connected static topology nothing can
+                # legitimately go missing.
+                violations.append(
+                    f"epoch {books.epoch} outcome "
+                    f"{books.report.outcome if books.report else None!r} "
+                    f"on a fault-free connected run"
+                )
+            if books.divergence is None:
+                continue
+            if (complete or config.static_grid) and books.divergence != 0.0:
+                # A fully covered fault-free epoch must be bit-exact; an
+                # epoch with a physical partition hole cannot be (the
+                # missing device's data is unknowable), so divergence is
+                # only gated when coverage was complete.
+                violations.append(
+                    f"epoch {books.epoch} diverges from the reference "
+                    f"({books.divergence:.4f}) on a fault-free run"
+                )
+    if result.network is not None:
+        sim = result.network[0]
+        violations.extend(check_no_live_timers(sim))
+    return violations

@@ -7,6 +7,13 @@ from .chaos_sweep import (
     run_chaos_point,
 )
 from .config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
+from .continuous_sweep import (
+    CONTINUOUS_SMOKE_SEEDS,
+    ContinuousPoint,
+    ContinuousReport,
+    continuous_suite,
+    run_continuous_point,
+)
 from .executor import RunCache, configure, resolve_workers, run_points
 from .fault_sweep import fault_churn_sweep, fault_loss_sweep, run_fault_point
 from .local_processing import figure_5a, figure_5b, measure_local_time
@@ -45,8 +52,11 @@ from .static_drr import (
 )
 
 __all__ = [
+    "CONTINUOUS_SMOKE_SEEDS",
     "ChaosPoint",
     "ChaosReport",
+    "ContinuousPoint",
+    "ContinuousReport",
     "DEFAULT",
     "ExperimentScale",
     "FigureResult",
@@ -59,6 +69,7 @@ __all__ = [
     "clear_run_cache",
     "configure",
     "chaos_suite",
+    "continuous_suite",
     "cpu_sweep",
     "fault_churn_sweep",
     "fault_loss_sweep",
@@ -93,6 +104,7 @@ __all__ = [
     "resolve_workers",
     "run_fault_point",
     "run_chaos_point",
+    "run_continuous_point",
     "run_manet_point",
     "run_points",
     "speed_sweep",

@@ -1,6 +1,22 @@
-"""Deterministic fault injection: device churn, blackouts, loss bursts."""
+"""Deterministic fault injection: device churn, blackouts, loss bursts —
+plus the data-plane sibling, seeded data-update schedules."""
 
 from .injector import FaultInjector
 from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from .updates import (
+    DataUpdateSchedule,
+    UpdateEvent,
+    UpdateInjector,
+    perturb_relation,
+)
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule"]
+__all__ = [
+    "FAULT_KINDS",
+    "DataUpdateSchedule",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "UpdateEvent",
+    "UpdateInjector",
+    "perturb_relation",
+]

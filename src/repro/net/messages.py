@@ -54,9 +54,18 @@ class FrameKind:
     TOKEN = "token"
     ACK = "ack"
     TRANSFER = "transfer"
+    #: Continuous-subscription traffic (``repro.continuous``): install/
+    #: renew/cancel floods and routed incremental updates. Only runs
+    #: that register subscriptions ever emit these, so the one-shot
+    #: figures are untouched by their membership in PROTOCOL.
+    SUBSCRIBE = "subscribe"
+    DELTA = "delta"
+    UNSUBSCRIBE = "unsubscribe"
 
     CONTROL = frozenset({RREQ, RREP, RERR})
-    PROTOCOL = frozenset({QUERY, RESULT, TOKEN, ACK, DATA})
+    PROTOCOL = frozenset(
+        {QUERY, RESULT, TOKEN, ACK, DATA, SUBSCRIBE, DELTA, UNSUBSCRIBE}
+    )
     #: Bulk data movement (redistribution) — neither query protocol nor
     #: routing control; reported separately.
     MAINTENANCE = frozenset({TRANSFER})

@@ -146,6 +146,12 @@ class World:
         self._nodes: Dict[int, NetworkNode] = {}
         self._rng = np.random.default_rng(seed)
         self._down: set = set()
+        #: Monotone per-node crash counters (never reset on recovery):
+        #: diffing two snapshots tells whether a node crashed *at any
+        #: point* between them, which ``CompletionReport`` needs to
+        #: classify devices that crashed mid-query but recovered before
+        #: the record closed.
+        self._crash_counts: Dict[int, int] = {}
         self._blackouts: set = set()
         self._loss_override: Optional[float] = None
         #: Active network partitions: ``(axis, coord)`` half-plane cuts.
@@ -333,6 +339,16 @@ class World:
         """Currently crashed node ids, sorted."""
         return sorted(self._down)
 
+    def crash_count(self, node: int) -> int:
+        """How many times ``node`` has crashed so far (monotone; not
+        reset on recovery)."""
+        return self._crash_counts.get(node, 0)
+
+    def crash_counts(self) -> Dict[int, int]:
+        """Snapshot of every node's crash counter (nodes that never
+        crashed are omitted)."""
+        return dict(self._crash_counts)
+
     def fail_node(self, node: int) -> None:
         """Crash ``node``: it stops transmitting and receiving, and its
         in-flight protocol state is lost (``on_crash`` hook). No-op if
@@ -340,6 +356,7 @@ class World:
         if node in self._down:
             return
         self._down.add(node)
+        self._crash_counts[node] = self._crash_counts.get(node, 0) + 1
         self._index.invalidate()
         if self.obs.enabled:
             self.obs.fault("node-crash", node=node)

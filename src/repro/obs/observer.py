@@ -338,6 +338,63 @@ class Observer:
         self.event("query.deadline-close", query=query, node=node)
         self.metrics.counter("resilience.deadline_closes").inc()
 
+    # -- continuous-subscription hooks ----------------------------------------
+
+    def subscription_installed(
+        self, sub_key: QueryKey, node: int, **attrs: Any
+    ) -> int:
+        """Open the root span of a continuous subscription; every
+        refresh-epoch event attaches under it via the query-root map."""
+        sid = self.begin("subscription", cat="continuous", query=sub_key,
+                         node=node, **attrs)
+        self._query_roots[sub_key] = sid
+        self.metrics.counter("continuous.subscriptions.installed").inc()
+        return sid
+
+    def subscription_refreshed(
+        self, sub_key: QueryKey, node: int, epoch: int, **attrs: Any
+    ) -> None:
+        """The originator closed one refresh epoch."""
+        self.event("subscription.refresh", query=sub_key, node=node,
+                   epoch=epoch, **attrs)
+        self.metrics.counter("continuous.epochs.closed").inc()
+
+    def subscription_cancelled(
+        self, sub_key: QueryKey, node: int, reason: str
+    ) -> None:
+        """The subscription ended (``reason``: cancelled / expired /
+        originator-crash); closes the root span."""
+        self.event("subscription.end", query=sub_key, node=node,
+                   reason=reason)
+        self.metrics.counter("continuous.subscriptions.ended").inc()
+        self.metrics.counter(f"continuous.end.{reason}").inc()
+        sid = self._query_roots.get(sub_key)
+        if sid is not None:
+            self.end(sid, reason=reason)
+
+    def delta_sent(
+        self, sub_key: QueryKey, node: int, epoch: int,
+        enters: int, leaves: int,
+    ) -> None:
+        """A contributor shipped an incremental DELTA toward home."""
+        self.event("delta.sent", query=sub_key, node=node, epoch=epoch,
+                   enters=enters, leaves=leaves)
+        self.metrics.counter("continuous.deltas.sent").inc()
+
+    def delta_merged(
+        self, sub_key: QueryKey, node: int, sender: int, epoch: int
+    ) -> None:
+        """The originator merged one device's DELTA for ``epoch``."""
+        self.event("delta.merged", query=sub_key, node=node, sender=sender,
+                   epoch=epoch)
+        self.metrics.counter("continuous.deltas.merged").inc()
+
+    def data_updated(self, node: int, epoch: int, fraction: float) -> None:
+        """A data update swapped ``node``'s relation version."""
+        self.event("data.updated", node=node, epoch=epoch,
+                   fraction=fraction)
+        self.metrics.counter("continuous.data_updates").inc()
+
     # -- frame-level hooks (called by World) ----------------------------------
 
     def frame_sent(self, frame: Frame) -> None:
@@ -535,6 +592,24 @@ class NullObserver:
         pass
 
     def deadline_close(self, *args, **kwargs) -> None:
+        pass
+
+    def subscription_installed(self, *args, **kwargs) -> int:
+        return -1
+
+    def subscription_refreshed(self, *args, **kwargs) -> None:
+        pass
+
+    def subscription_cancelled(self, *args, **kwargs) -> None:
+        pass
+
+    def delta_sent(self, *args, **kwargs) -> None:
+        pass
+
+    def delta_merged(self, *args, **kwargs) -> None:
+        pass
+
+    def data_updated(self, *args, **kwargs) -> None:
         pass
 
     def frame_duplicated(self, *args, **kwargs) -> None:

@@ -12,7 +12,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..data.partition import GlobalDataset
 from ..data.workload import QueryRequest
-from ..faults import FaultInjector, FaultSchedule
+from ..faults import (
+    DataUpdateSchedule,
+    FaultInjector,
+    FaultSchedule,
+    UpdateInjector,
+)
 from ..net.aodv import AodvConfig
 from ..net.engine import Simulator
 from ..net.mobility import (
@@ -48,6 +53,10 @@ class SimulationConfig:
             entry so in-flight queries can finish.
         faults: Optional deterministic fault schedule (device churn,
             link blackouts, loss bursts) injected into the run.
+        updates: Optional deterministic data-update schedule — seeded
+            relation perturbations applied to devices mid-run (the
+            continuous layer's event source; one-shot runs accept it
+            too, so a query can race a data update).
         use_neighbor_cache: Answer connectivity queries from the world's
             epoch-cached neighbor index (default) or the uncached O(m²)
             reference path. Both produce bit-identical runs — the flag
@@ -64,6 +73,7 @@ class SimulationConfig:
     seed: Optional[int] = None
     drain_time: float = 120.0
     faults: Optional[FaultSchedule] = None
+    updates: Optional[DataUpdateSchedule] = None
     use_neighbor_cache: bool = True
 
     def __post_init__(self) -> None:
@@ -181,6 +191,8 @@ def run_manet_simulation(
     injector: Optional[FaultInjector] = None
     if config.faults is not None:
         injector = FaultInjector(config.faults).install(world)
+    if config.updates is not None:
+        UpdateInjector(config.updates).install(world, devices)
     issued = 0
     suppressed = 0
 

@@ -230,6 +230,14 @@ class QueryRecord:
     aborted_by_crash: bool = False
     report: Optional[CompletionReport] = None
     close_timer: Optional[EventHandle] = field(default=None, repr=False)
+    crash_counts_at_issue: Dict[int, int] = field(
+        default_factory=dict, repr=False
+    )
+    """Per-node crash counters snapshotted at issue time; the close path
+    diffs them against the world's live counters to spot devices that
+    crashed *and recovered* between issue and close (their volatile
+    query state died in the fault, so they classify as lost-to-fault
+    even though they are up again at close)."""
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -308,6 +316,10 @@ class SkylineDevice(Node):
         #: Crash epoch: bumped on every crash so scheduled continuations
         #: from before the crash become no-ops (in-flight state is lost).
         self._epoch = 0
+        #: Data-version counter: bumped by every ``apply_update``. The
+        #: continuous layer's safe regions key on it — an unchanged
+        #: epoch proves the device's data cannot have moved the answer.
+        self.data_epoch = 0
         #: Result replies not yet acknowledged by their originator,
         #: keyed by query key (one reply per query per device). Shared
         #: between the BF strategy and DF→BF failover floods.
@@ -350,6 +362,21 @@ class SkylineDevice(Node):
                         self._active_key, self.node_id
                     )
             self._close_query(self._active_key)
+
+    def apply_update(self, relation: Relation) -> None:
+        """Swap in a new version of the local relation (data update).
+
+        Relations are immutable, so an update replaces the whole object,
+        rebuilds the processor storage, and bumps ``data_epoch``.
+        Updates land on storage, not volatile protocol state, so they
+        apply to crashed devices too and survive recovery.
+        """
+        self.relation = relation
+        if self.config.processor == "hybrid":
+            self._storage = HybridStorage(relation)
+        elif self.config.processor == "flat":
+            self._storage = FlatStorage(relation)
+        self.data_epoch += 1
 
     def on_recover(self) -> None:
         """World hook: the device rebooted and rejoined clean.
@@ -476,6 +503,7 @@ class SkylineDevice(Node):
             reachable_at_issue=frozenset(
                 self.world.reachable_from(self.node_id)
             ),
+            crash_counts_at_issue=self.world.crash_counts(),
         )
         self.records[query.key] = record
         self._active_key = query.key
@@ -484,10 +512,25 @@ class SkylineDevice(Node):
                 query.key, self.node_id, d=d,
                 reachable=len(record.reachable_at_issue),
             )
-        record.close_timer = self.sim.schedule(
-            self.config.effective_deadline, self._close_query, query.key
-        )
+        self._arm_close_timer(record, self.config.effective_deadline)
         return record, local, flt
+
+    def _arm_close_timer(self, record: QueryRecord, delay: float) -> None:
+        """(Re-)arm ``record``'s deadline timer, cancelling any prior one.
+
+        Every deadline (re-)arm goes through here — initial issue,
+        subscription refresh epochs, any future budget extension. The
+        cancel-before-schedule order is the point: a re-armed key that
+        kept its stale engine timer would fire a spurious close into the
+        new epoch and leak the replacement timer into the engine heap
+        (``sim.live_pending``, which the chaos suite requires to drain
+        to zero).
+        """
+        if record.close_timer is not None:
+            record.close_timer.cancel()
+        record.close_timer = self.sim.schedule(
+            delay, self._close_query, record.query.key
+        )
 
     def _close_query(self, key: Tuple[int, int]) -> None:
         record = self.records.get(key)
@@ -507,11 +550,16 @@ class SkylineDevice(Node):
             if record.completion_time is None and not record.aborted_by_crash:
                 obs.deadline_close(key, self.node_id)
         if self.config.resilience.completion_report:
+            snapshot = record.crash_counts_at_issue
             record.report = build_completion_report(
                 record,
                 population=frozenset(self.world.node_ids),
                 down_now=frozenset(self.world.down_nodes),
                 closed_at=self.sim.now,
+                crashed_during=frozenset(
+                    n for n in self.world.node_ids
+                    if self.world.crash_count(n) > snapshot.get(n, 0)
+                ),
             )
         if self._active_key == key:
             self._active_key = None
@@ -790,6 +838,10 @@ class DFDevice(SkylineDevice):
         self._reissue_alias: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._watchdog: Optional[EventHandle] = None
         self._last_token_activity: float = 0.0
+        #: Serials of token copies already processed — drops fault-
+        #: injected duplicate deliveries (same payload object, same
+        #: serial). Intentional re-sends always carry fresh serials.
+        self._seen_token_serials: set = set()
 
     def _resolve_key(self, key: Tuple[int, int]) -> Tuple[int, int]:
         """Map a (possibly re-issued) query key to its root record key."""
@@ -1000,6 +1052,22 @@ class DFDevice(SkylineDevice):
         self._receive_token(packet.payload, packet.source)
 
     def _receive_token(self, token: TokenMessage, sender: int) -> None:
+        if token.serial in self._seen_token_serials:
+            # A fault-injected duplicate delivery of a copy we already
+            # processed. Without this check the duplicate would fall
+            # through the (origin, cnt) log into the pass-along branch
+            # and spawn a second concurrent walk of the same token —
+            # double-charging compute, messages, and metrics.
+            if self.world.obs.enabled:
+                self.world.obs.event(
+                    "token.duplicate-dropped", query=token.query.key,
+                    node=self.node_id, sender=sender,
+                )
+                self.world.obs.metrics.counter(
+                    "protocol.token.duplicates_dropped"
+                ).inc()
+            return
+        self._seen_token_serials.add(token.serial)
         if (
             self.config.resilience.orphan_suppression
             and token.query.origin != self.node_id

@@ -8,7 +8,8 @@ the cost the strategies fight to reduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Tuple
 
 from ..core.filtering import FilteringTuple
@@ -88,6 +89,9 @@ class ResultAckMessage:
         return 8
 
 
+_token_serials = itertools.count()
+
+
 @dataclass(frozen=True)
 class TokenMessage:
     """Depth-first token: query + accumulated result + traversal state.
@@ -103,6 +107,15 @@ class TokenMessage:
     path: Tuple[int, ...]
     contributions: Tuple[Tuple[int, int, int], ...] = ()
     """Per-device ``(device, unreduced, reduced)`` records for metrics."""
+    serial: int = field(default_factory=lambda: next(_token_serials),
+                        compare=False)
+    """Wire-copy identity. Every *intentional* (re)send constructs a
+    fresh :class:`TokenMessage` and thus a fresh serial; a fault-injected
+    duplicate delivery re-delivers the same payload object with the same
+    serial, which is how receivers tell the two apart (a duplicated
+    token must not spawn a second walk). Not part of the modelled wire
+    size — it stands for the MAC-layer sequence number real radios
+    already carry."""
 
     def size_bytes(self, dimensions: int) -> int:
         """Query spec + filter + carried tuples + visited-set bitmap."""

@@ -10,10 +10,15 @@ disjoint classes:
   partition when the query was issued (no protocol could have reached
   them: the attainable answer never included their data);
 * ``lost_to_fault`` — devices that were reachable at issue but crashed
-  and were still down when the record closed;
-* ``deadline_expired`` — devices that were reachable and up at close,
-  yet whose results never arrived inside the deadline budget (lost
-  frames, partitions that opened mid-flight, retry budgets exhausted).
+  at some point during the query without contributing: still down at
+  close, *or* crashed mid-query and recovered before close (fail-stop
+  semantics mean their volatile query state — any computed result or
+  in-flight reply — died in the crash either way, so recovery does not
+  move them back to ``deadline_expired``);
+* ``deadline_expired`` — devices that were reachable and never crashed
+  during the query, yet whose results never arrived inside the deadline
+  budget (lost frames, partitions that opened mid-flight, retry budgets
+  exhausted).
 
 ``contributed ∪ unreachable_at_issue ∪ lost_to_fault ∪
 deadline_expired ∪ {originator}`` always equals the full population —
@@ -46,8 +51,11 @@ class CompletionReport:
         contributed: Devices whose results were merged.
         unreachable_at_issue: Devices outside the originator's partition
             at issue time.
-        lost_to_fault: Reachable-at-issue devices still crashed at close.
-        deadline_expired: Reachable, up, but silent inside the budget.
+        lost_to_fault: Reachable-at-issue devices that crashed during
+            the query without contributing (still down at close, or
+            recovered after a mid-query crash).
+        deadline_expired: Reachable, never crashed, but silent inside
+            the budget.
     """
 
     query_key: Tuple[int, int]
@@ -106,6 +114,7 @@ def build_completion_report(
     population: FrozenSet[int],
     down_now: FrozenSet[int],
     closed_at: float,
+    crashed_during: FrozenSet[int] = frozenset(),
 ) -> CompletionReport:
     """Classify ``population`` for a closing ``record``.
 
@@ -114,16 +123,23 @@ def build_completion_report(
         population: All device ids in the simulation.
         down_now: Device ids crashed at close time.
         closed_at: Close time (``sim.now``).
+        crashed_during: Device ids that crashed at least once between
+            issue and close, whether or not they have recovered since
+            (from diffing :meth:`~repro.net.world.World.crash_counts`
+            snapshots). A missing device in this set is lost-to-fault,
+            not deadline-expired: fail-stop crashes destroy its query
+            state, so the deadline was never its problem.
     """
     others = population - {record.originator}
     contributed = frozenset(record.contributions) & others
     reachable = frozenset(record.reachable_at_issue) & others
     # A device that contributed is by definition accounted for, even if
     # the issue-time reachability snapshot predates it (e.g. it rejoined
-    # the partition mid-query and its result still made it home).
+    # the partition mid-query and its result still made it home), or it
+    # crashed *after* its result was already merged.
     unreachable = others - reachable - contributed
     missing = reachable - contributed
-    lost = frozenset(m for m in missing if m in down_now)
+    lost = frozenset(m for m in missing if m in down_now or m in crashed_during)
     expired = missing - lost
     if record.aborted_by_crash:
         outcome = "aborted-by-crash"

@@ -134,3 +134,75 @@ class TestInvariantCheckersDetectViolations:
         sim.schedule(10.0, lambda: None)
         assert live_foreign_events(sim)
         assert check_no_live_timers(sim)
+
+
+class TestRecoverMidQueryClassification:
+    """Satellite bugfix gate: a device that crashes mid-query and
+    recovers *before* the record closes is classified lost-to-fault
+    (its volatile query state died in the crash), and the completion
+    report still exactly partitions the population — the crash-counter
+    snapshot diff, not the down-at-close set, drives the class."""
+
+    POSITIONS = [(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (600.0, 0.0)]
+
+    def build(self, dataset, config):
+        from repro.net import AodvConfig, RadioConfig, StaticPlacement, World
+        from repro.net.trace import Tracer
+        from repro.protocol import BFDevice
+
+        sim = Simulator()
+        world = World(
+            sim, StaticPlacement(self.POSITIONS),
+            RadioConfig(radio_range=250.0),
+        )
+        tracer = Tracer().install(world)
+        devices = [
+            BFDevice(
+                world, i, dataset.local(i),
+                config=config, aodv_config=AodvConfig(),
+            )
+            for i in range(dataset.devices)
+        ]
+        return sim, world, devices, tracer
+
+    def test_recovered_device_stays_lost_to_fault(self):
+        from repro.data import make_global_dataset
+        from repro.protocol import ProtocolConfig
+        from repro.resilience import ResiliencePolicy
+
+        dataset = make_global_dataset(
+            400, 2, 4, "independent", seed=61, value_step=1.0
+        )
+        config = ProtocolConfig(
+            query_timeout=60.0, ack_timeout=2.0, result_retries=2,
+            resilience=ResiliencePolicy(deadline=40.0),
+        )
+        # Stage on a clean run: when does device 3 hear the query, and
+        # when does it send its result home?
+        sim, world, devices, tracer = self.build(dataset, config)
+        devices[0].issue_query(d=1.0e6)
+        sim.run(until=100.0)
+        t_in = tracer.filter(
+            kind="frame-delivered", node=3, frame_kind="query"
+        )[0].time
+        t_out = tracer.filter(
+            kind="frame-sent", node=3, frame_kind="data"
+        )[0].time
+        assert t_in < t_out
+
+        # Re-run with a crash in that window and a recovery well before
+        # the 40 s deadline closes the record.
+        sim, world, devices, _ = self.build(dataset, config)
+        crash_at = (t_in + t_out) / 2.0
+        sim.schedule_at(crash_at, world.fail_node, 3)
+        sim.schedule_at(crash_at + 5.0, world.restore_node, 3)
+        record = devices[0].issue_query(d=1.0e6)
+        sim.run(until=100.0)
+
+        assert world.node_is_up(3)  # recovered long before close
+        report = record.report
+        assert report.outcome == "deadline-expired"
+        assert 3 in report.lost_to_fault
+        assert 3 not in report.deadline_expired
+        assert report.is_exact_partition(frozenset(range(4)))
+        assert sim.live_pending == 0

@@ -1,0 +1,570 @@
+"""Continuous skyline subscriptions: wire payloads, delta folding, safe
+regions, the end-to-end grid exactness/dominance gates, and the
+subscription lifecycle's edge cases (cancel, originator crash, renew,
+crash-recovery re-enrollment, retried deltas, duplicate deliveries).
+
+Fault staging follows ``test_resilience.py``: fully connected static
+grids make delivery deterministic, and faults are placed around the
+subscription's known epoch clock (``install_time + e * interval``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.continuous import (
+    ContinuousConfig,
+    ContinuousDevice,
+    DeltaMessage,
+    SafeRegion,
+    SubscriptionSpec,
+    apply_delta,
+    continuous_protocol_config,
+    grid_placement,
+    min_distance_to_mbr,
+    relation_rows,
+    run_continuous_simulation,
+    verify_continuous_run,
+)
+from repro.core import skyline_of_relation
+from repro.core.query import SkylineQuery
+from repro.data import make_global_dataset
+from repro.faults import DataUpdateSchedule, FaultSchedule, perturb_relation
+from repro.net import AodvConfig, RadioConfig, Simulator, World
+from repro.obs.observer import Observer
+from repro.storage import union_all
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(
+        270, 2, 9, "independent", seed=31, value_step=1.0
+    )
+
+
+def local_skyline(relation, pos, d):
+    return skyline_of_relation(relation.restrict(pos, d))
+
+
+def sample_query(origin=0, cnt=1, pos=(500.0, 500.0), d=400.0):
+    return SkylineQuery(origin=origin, cnt=cnt, pos=pos, d=d)
+
+
+def sample_spec(**overrides):
+    fields = dict(
+        query=sample_query(), install_time=10.0, interval=20.0,
+        epochs=3, epoch_budget=8.0,
+    )
+    fields.update(overrides)
+    return SubscriptionSpec(**fields)
+
+
+class TestMessages:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            sample_spec(interval=0.0)
+        with pytest.raises(ValueError):
+            sample_spec(epochs=-1)
+        with pytest.raises(ValueError):
+            sample_spec(epoch_budget=0.0)
+        with pytest.raises(ValueError):
+            sample_spec(epoch_budget=25.0)  # exceeds the interval
+        with pytest.raises(ValueError):
+            sample_spec(mode="eager")
+        with pytest.raises(ValueError):
+            sample_spec(slack=-1.0)
+
+    def test_spec_key_and_clock(self):
+        spec = sample_spec()
+        assert spec.key == spec.query.key
+        assert spec.tick_time(1) == 30.0
+        assert spec.tick_time(3) == 70.0
+
+    def test_delta_wire_size(self, dataset):
+        enters = dataset.local(0).take(np.arange(3))
+        delta = DeltaMessage(
+            sub_key=(0, 1), sender=2, epoch=1, enters=enters,
+            leaves=(4, 5),
+        )
+        from repro.net.messages import tuple_bytes
+
+        assert delta.size_bytes(2) == 12 + 3 * tuple_bytes(2) + 8
+
+    def test_observer_attribution_key(self):
+        spec = sample_spec()
+        from repro.continuous import (
+            DeltaAckMessage,
+            SubscribeMessage,
+            UnsubscribeMessage,
+        )
+
+        sub = SubscribeMessage(
+            spec=spec, flood=spec.query, kind="install", epoch=0,
+            epochs_total=3,
+        )
+        assert sub.query_key == spec.key
+        assert DeltaAckMessage(sub_key=spec.key, epoch=1).query_key \
+            == spec.key
+        assert UnsubscribeMessage(
+            sub_key=spec.key, flood=spec.query
+        ).query_key == spec.key
+
+
+class TestApplyDelta:
+    def test_full_replaces_slice(self, dataset):
+        stored = dataset.local(0).take(np.arange(5))
+        fresh = dataset.local(0).take(np.arange(5, 9))
+        delta = DeltaMessage(
+            sub_key=(0, 1), sender=1, epoch=1, enters=fresh, full=True,
+        )
+        assert apply_delta(stored, delta) is fresh
+
+    def test_enters_and_leaves(self, dataset):
+        relation = dataset.local(0)
+        stored = relation.take(np.arange(4))
+        enter = relation.take(np.array([5]))
+        leave_sid = int(stored.site_ids[0])
+        delta = DeltaMessage(
+            sub_key=(0, 1), sender=1, epoch=1, enters=enter,
+            leaves=(leave_sid,),
+        )
+        out_rows = relation_rows(apply_delta(stored, delta))
+        want = (relation_rows(stored) - {
+            row for row in relation_rows(stored) if row[0] == leave_sid
+        }) | relation_rows(enter)
+        assert out_rows == want
+
+    def test_value_change_replaces_same_site(self, dataset):
+        # A site that stays in the skyline with new values arrives as an
+        # enter under the same id; the stale row must not survive.
+        relation = dataset.local(0)
+        stored = relation.take(np.arange(4))
+        changed = perturb_relation(
+            relation, 1.0, seed=3
+        ).take(np.arange(1))
+        assert int(changed.site_ids[0]) == int(stored.site_ids[0])
+        delta = DeltaMessage(
+            sub_key=(0, 1), sender=1, epoch=1, enters=changed,
+        )
+        out = apply_delta(stored, delta)
+        assert out.cardinality == stored.cardinality
+        sid = int(changed.site_ids[0])
+        rows = {row for row in relation_rows(out) if row[0] == sid}
+        assert rows == relation_rows(changed)
+
+    def test_empty_delta_is_identity(self, dataset):
+        stored = dataset.local(0).take(np.arange(4))
+        empty = dataset.local(0).take(np.empty(0, dtype=np.int64))
+        delta = DeltaMessage(
+            sub_key=(0, 1), sender=1, epoch=1, enters=empty,
+        )
+        assert relation_rows(apply_delta(stored, delta)) \
+            == relation_rows(stored)
+
+
+class TestSafeRegion:
+    def test_min_distance_to_mbr(self):
+        mbr = (0.0, 0.0, 10.0, 10.0)
+        assert min_distance_to_mbr((5.0, 5.0), mbr) == 0.0
+        assert min_distance_to_mbr((13.0, 14.0), mbr) == 5.0
+        assert min_distance_to_mbr((-3.0, 5.0), mbr) == 3.0
+
+    def test_empty_relation_is_exempt(self, dataset):
+        empty = dataset.local(0).take(np.empty(0, dtype=np.int64))
+        region = SafeRegion.establish(
+            relation=empty, pos=(0.0, 0.0), d=100.0, slack=0.0,
+            data_epoch=0, reported=empty,
+        )
+        assert region.spatially_exempt
+        assert region.silence_reason(data_epoch=5) == "spatial"
+
+    def test_epoch_clause(self, dataset):
+        relation = dataset.local(0)
+        pos = tuple(map(float, relation.xy[0]))
+        reported = local_skyline(relation, pos, 200.0)
+        region = SafeRegion.establish(
+            relation=relation, pos=pos, d=200.0, slack=0.0,
+            data_epoch=2, reported=reported,
+        )
+        assert not region.spatially_exempt
+        assert region.silence_reason(data_epoch=2) == "epoch"
+        assert region.silence_reason(data_epoch=3) is None
+
+    def test_value_clause_and_note_report(self, dataset):
+        relation = dataset.local(0)
+        pos = tuple(map(float, relation.xy[0]))
+        reported = local_skyline(relation, pos, 200.0)
+        region = SafeRegion.establish(
+            relation=relation, pos=pos, d=200.0, slack=0.0,
+            data_epoch=0, reported=reported,
+        )
+        rows = relation_rows(reported)
+        assert region.unchanged(rows)
+        fresh = frozenset(list(rows)[1:])
+        assert not region.unchanged(fresh)
+        region.note_report(4, fresh)
+        assert region.last_data_epoch == 4
+        assert region.unchanged(fresh)
+
+
+class TestSafeRegionSoundness:
+    """Seeded randomized property: a device whose safe region proves
+    silence never changes the global answer — substituting its stored
+    report with a fresh recomputation leaves the maintained skyline
+    bit-identical."""
+
+    def global_rows(self, slices):
+        return relation_rows(skyline_of_relation(union_all(slices)))
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_silence_is_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        data = make_global_dataset(
+            180, 2, 9, "independent", seed=seed, value_step=1.0
+        )
+        device = int(rng.integers(9))
+        relation = data.local(device)
+        anchor = data.local(int(rng.integers(9)))
+        pos = tuple(map(float, anchor.xy[int(rng.integers(
+            anchor.cardinality
+        ))]))
+        d = float(rng.uniform(100.0, 900.0))
+        reported = local_skyline(relation, pos, d)
+        region = SafeRegion.establish(
+            relation=relation, pos=pos, d=d, slack=0.0,
+            data_epoch=0, reported=reported,
+        )
+        # A data update lands on the device.
+        updated = perturb_relation(
+            relation, float(rng.uniform(0.05, 0.8)),
+            seed=int(rng.integers(2**31 - 1)), value_step=1.0,
+        )
+        others = [
+            local_skyline(data.local(i), pos, d)
+            for i in range(9) if i != device
+        ]
+        fresh = local_skyline(updated, pos, d)
+        if region.spatially_exempt:
+            # Clause 1: sites are static, so the in-range set stays
+            # empty no matter how values move.
+            assert fresh.cardinality == 0
+            assert self.global_rows(others + [reported]) \
+                == self.global_rows(others)
+        rows = relation_rows(fresh)
+        if region.unchanged(rows):
+            # Clause 3: identical recomputation — silence changes
+            # nothing.
+            assert self.global_rows(others + [reported]) \
+                == self.global_rows(others + [fresh])
+        # Clause 2 (epoch unchanged) is sound by determinism:
+        assert relation_rows(local_skyline(relation, pos, d)) \
+            == relation_rows(reported)
+
+
+class TestConfigValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            ContinuousConfig(mode="eager")
+
+    def test_bad_originator(self):
+        with pytest.raises(ValueError):
+            ContinuousConfig(devices=9, originator=9)
+
+    def test_negative_install_time(self):
+        with pytest.raises(ValueError):
+            ContinuousConfig(install_time=-1.0)
+
+    def test_horizon(self):
+        config = ContinuousConfig(
+            install_time=10.0, interval=20.0, epochs=3,
+            epoch_budget=8.0, drain_time=30.0,
+        )
+        assert config.last_close == 10.0 + 3 * 20.0 + 8.0
+        assert config.horizon == config.last_close + 30.0
+
+
+def grid_config(**overrides):
+    fields = dict(
+        devices=9, cardinality=270, epochs=3, d=600.0, seed=7,
+        data_updates=6, static_grid=True, loss_rate=0.0,
+    )
+    fields.update(overrides)
+    return ContinuousConfig(**fields)
+
+
+class TestEndToEndGrid:
+    """The exactness + dominance gates on a fully connected static
+    grid, fault-free."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            mode: run_continuous_simulation(
+                grid_config(mode=mode), keep_network=True
+            )
+            for mode in ("delta", "reflood")
+        }
+
+    def test_invariants_clean(self, runs):
+        for mode, result in runs.items():
+            assert verify_continuous_run(result) == [], mode
+
+    def test_every_epoch_exact_and_complete(self, runs):
+        for mode, result in runs.items():
+            assert result.record.status == "expired"
+            assert [e.epoch for e in result.record.epochs] == [0, 1, 2, 3]
+            assert result.max_divergence == 0.0
+            for books in result.record.epochs:
+                assert books.report.outcome == "completed"
+                assert books.report.is_exact_partition(frozenset(range(9)))
+
+    def test_delta_dominates_reflood(self, runs):
+        assert runs["delta"].messages_per_refresh \
+            < runs["reflood"].messages_per_refresh
+
+    def test_engine_heap_drains(self, runs):
+        for result in runs.values():
+            assert result.network[0].live_pending == 0
+
+    def test_deterministic_replay(self):
+        def signature():
+            result = run_continuous_simulation(grid_config())
+            return [
+                (e.epoch, e.closed_at, e.result_rows, e.reporters,
+                 e.messages)
+                for e in result.record.epochs
+            ]
+
+        assert signature() == signature()
+
+
+class TestDuplicateDeltaIdempotence:
+    """Satellite bugfix gate: a run under a full-length duplicate-
+    delivery window is bit-identical to the clean run (loss 0) — every
+    duplicated SUBSCRIBE flood, DELTA, and ACK must be absorbed by the
+    dedup layers, not double-merged."""
+
+    def books_signature(self, result):
+        return [
+            (e.epoch, e.tick_time, e.closed_at, e.result_rows,
+             e.reporters,
+             (e.report.outcome, e.report.contributed,
+              e.report.lost_to_fault, e.report.deadline_expired))
+            for e in result.record.epochs
+        ]
+
+    def test_dup_window_run_bit_identical(self):
+        clean = run_continuous_simulation(
+            grid_config(), keep_network=True
+        )
+        config = grid_config()
+        dup = run_continuous_simulation(
+            grid_config(faults=FaultSchedule().duplication(
+                0.0, 1.0, duration=config.horizon
+            )),
+            keep_network=True,
+        )
+        assert dup.traffic.duplicates > 0
+        assert self.books_signature(dup) == self.books_signature(clean)
+        assert dup.max_divergence == 0.0
+        assert dup.network[0].live_pending == 0
+
+
+class TestRetriedDelta:
+    """A DELTA whose first copy dies in a loss burst at the refresh
+    tick is retransmitted and still lands inside the epoch budget."""
+
+    def test_loss_burst_at_tick_recovers_via_retry(self):
+        updates = DataUpdateSchedule().update(22.0, device=1, fraction=0.6)
+        observer = Observer()
+        result = run_continuous_simulation(
+            grid_config(
+                data_updates=0, updates=updates,
+                faults=FaultSchedule().loss_burst(
+                    29.9, rate=1.0, duration=1.2
+                ),
+            ),
+            observer=observer,
+            keep_network=True,
+        )
+        retransmits = observer.metrics.counter(
+            "continuous.deltas.retransmits"
+        ).value
+        assert retransmits >= 1
+        epoch1 = result.record.epochs[1]
+        assert epoch1.report.outcome == "completed"
+        assert epoch1.divergence == 0.0
+        assert result.network[0].live_pending == 0
+
+
+def build_grid(dataset, observe=False):
+    sim = Simulator()
+    world = World(
+        sim, grid_placement(dataset.devices),
+        RadioConfig(radio_range=250.0),
+    )
+    observer = Observer().bind(world) if observe else None
+    devices = [
+        ContinuousDevice(
+            world, i, dataset.local(i),
+            config=continuous_protocol_config(), aodv_config=AodvConfig(),
+        )
+        for i in range(dataset.devices)
+    ]
+    return sim, world, devices, observer
+
+
+class TestLifecycleEdges:
+    def install(self, sim, devices, at=10.0, epochs=3, **kwargs):
+        records = []
+
+        def do_install():
+            records.append(
+                devices[0].install_subscription(
+                    d=600.0, interval=20.0, epochs=epochs,
+                    epoch_budget=8.0, **kwargs,
+                )
+            )
+
+        sim.schedule_at(at, do_install)
+        return records
+
+    def assert_all_quiet(self, sim, devices):
+        assert sim.live_pending == 0
+        for device in devices:
+            assert device._subscriber == {}
+            assert device._pending_deltas == {}
+
+    def test_install_then_immediate_cancel(self, dataset):
+        sim, world, devices, _ = build_grid(dataset)
+        records = self.install(sim, devices)
+        sim.schedule_at(
+            10.2, lambda: devices[0].cancel_subscription(records[0].key)
+        )
+        sim.run(until=120.0)
+        record = records[0]
+        assert record.status == "cancelled"
+        assert record.closed
+        # Cancellation pre-empted the install epoch's close: no books.
+        assert record.epochs == []
+        self.assert_all_quiet(sim, devices)
+
+    def test_cancel_api_validation(self, dataset):
+        sim, world, devices, _ = build_grid(dataset)
+        with pytest.raises(RuntimeError):
+            devices[0].cancel_subscription((0, 99))
+        with pytest.raises(RuntimeError):
+            devices[0].renew_subscription((0, 99), 2)
+
+    def test_originator_crash_mid_refresh(self, dataset):
+        # Crash the originator exactly at the epoch-1 tick: subscriber
+        # DELTAs for that epoch are in flight toward a dead device, so
+        # the ACK/retry path and the per-tick orphan check must both
+        # reap cleanly (PR 6's suppression contract, per-epoch).
+        sim, world, devices, observer = build_grid(dataset, observe=True)
+        records = self.install(sim, devices)
+        sim.schedule_at(30.0, world.fail_node, 0)
+        sim.run(until=150.0)
+        record = records[0]
+        assert record.status == "aborted"
+        assert [e.epoch for e in record.epochs] == [0]
+        self.assert_all_quiet(sim, devices)
+        assert (
+            observer.metrics.counter("resilience.orphans_reaped").value >= 1
+        )
+
+    def test_renewal_extends_epoch_schedule(self, dataset):
+        sim, world, devices, _ = build_grid(dataset)
+        records = self.install(sim, devices, epochs=2)
+        sim.schedule_at(
+            45.0, lambda: devices[0].renew_subscription(records[0].key, 2)
+        )
+        sim.run(until=160.0)
+        record = records[0]
+        assert record.status == "expired"
+        assert record.epochs_total == 4
+        assert [e.epoch for e in record.epochs] == [0, 1, 2, 3, 4]
+        # The renew flood kept subscribers ticking past the original
+        # expiry: the extension epochs still have full coverage.
+        final = record.epochs[-1]
+        assert final.report.outcome == "completed"
+        self.assert_all_quiet(sim, devices)
+
+    def test_renewal_validation(self, dataset):
+        sim, world, devices, _ = build_grid(dataset)
+        records = self.install(sim, devices)
+        sim.run(until=15.0)
+        with pytest.raises(ValueError):
+            devices[0].renew_subscription(records[0].key, 0)
+
+    def test_subscriber_crash_recovery_reenrolls_via_heal_flood(
+        self, dataset
+    ):
+        # Device 4 crashes after enrollment and recovers mid-run. Its
+        # epoch-1 books mark it lost-to-fault; the close-time healing
+        # flood re-enrolls it once it is back up, so the final epoch
+        # covers it again.
+        sim, world, devices, observer = build_grid(dataset, observe=True)
+        records = self.install(sim, devices)
+        sim.schedule_at(25.0, world.fail_node, 4)
+        sim.schedule_at(45.0, world.restore_node, 4)
+        sim.run(until=150.0)
+        record = records[0]
+        assert record.status == "expired"
+        epoch1 = record.epochs[1]
+        assert 4 in epoch1.report.lost_to_fault
+        assert epoch1.report.is_exact_partition(frozenset(range(9)))
+        final = record.epochs[-1]
+        assert final.report.outcome == "completed"
+        assert 4 in final.report.contributed
+        assert (
+            observer.metrics.counter("continuous.heal_floods").value >= 1
+        )
+        self.assert_all_quiet(sim, devices)
+
+    def test_unsubscribe_drops_foreign_state_only(self, dataset):
+        # Two originators, one cancels: the other's subscription keeps
+        # running untouched.
+        sim, world, devices, _ = build_grid(dataset)
+        first = self.install(sim, devices, at=10.0)
+        second = []
+
+        def install_second():
+            second.append(
+                devices[8].install_subscription(
+                    d=600.0, interval=20.0, epochs=3, epoch_budget=8.0,
+                )
+            )
+
+        sim.schedule_at(10.0, install_second)
+        sim.schedule_at(
+            20.0, lambda: devices[0].cancel_subscription(first[0].key)
+        )
+        sim.run(until=150.0)
+        assert first[0].status == "cancelled"
+        assert second[0].status == "expired"
+        assert [e.epoch for e in second[0].epochs] == [0, 1, 2, 3]
+        assert second[0].epochs[-1].report.outcome == "completed"
+        self.assert_all_quiet(sim, devices)
+
+
+class TestMobileSuite:
+    """The sweep harness holds its invariants on mobile topologies too
+    (partitions allowed, exactness gated only on covered epochs)."""
+
+    def test_smoke_seed_clean(self):
+        from repro.experiments import run_continuous_point
+
+        point = run_continuous_point(3, "delta", faulty=False)
+        assert point.ok, point.violations
+        point = run_continuous_point(3, "delta", faulty=True)
+        assert point.ok, point.violations
+
+    def test_point_determinism(self):
+        from repro.experiments import run_continuous_point
+
+        a = run_continuous_point(17, "delta", faulty=True)
+        b = run_continuous_point(17, "delta", faulty=True)
+        assert (a.status, a.epochs_closed, a.complete_epochs,
+                a.messages_per_refresh, a.max_divergence) == \
+               (b.status, b.epochs_closed, b.complete_epochs,
+                b.messages_per_refresh, b.max_divergence)

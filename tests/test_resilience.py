@@ -506,3 +506,80 @@ class TestFaultFreeParity:
             ResiliencePolicy(df_failover=True, orphan_suppression=True)
         )
         assert inert == active
+
+
+class TestDeadlineTimerRearm:
+    """Satellite bugfix gate: re-arming a record's deadline goes through
+    the cancel-before-schedule path — the stale engine timer is swapped
+    out, never left to fire a spurious close or linger in the heap."""
+
+    POSITIONS = [(0.0, 0.0), (200.0, 0.0), (9000.0, 0.0), (9300.0, 0.0)]
+
+    def test_rearm_swaps_timer_without_leak_or_spurious_close(self, dataset):
+        config = ProtocolConfig(
+            query_timeout=400.0, ack_timeout=2.0, result_retries=2,
+            resilience=ResiliencePolicy(deadline=120.0),
+        )
+        sim, world, devices, _, _ = build(
+            dataset, BFDevice, self.POSITIONS, config,
+        )
+        record = devices[0].issue_query(d=1.0e6)
+        # The only in-range responder dies with the flood in flight:
+        # nothing can complete this query, only a deadline closes it.
+        world.fail_node(1)
+        sim.run(until=5.0)
+        assert not record.closed
+        before = sim.live_pending
+        # Re-arm with a shorter budget, as a refresh epoch would.
+        devices[0]._arm_close_timer(record, 30.0)
+        assert sim.live_pending == before  # swapped, not leaked
+        sim.run(until=300.0)
+        assert record.closed
+        # The re-armed budget closed it — not the original 120 s one.
+        assert record.closed_at == pytest.approx(35.0)
+        assert record.report.outcome == "deadline-expired"
+        assert sim.live_pending == 0
+
+
+class TestDuplicateDeliveryIdempotence:
+    """Satellite bugfix gate: a run under a full-length duplicate-
+    delivery window (loss 0) is semantically bit-identical to the clean
+    run for both strategies — duplicated floods, tokens, results, and
+    ACKs must all be absorbed by the dedup layers."""
+
+    def run_signature(self, strategy, faults):
+        from repro.data import generate_workload
+        from repro.faults import FaultSchedule
+        from repro.protocol import SimulationConfig, run_manet_simulation
+
+        dataset = make_global_dataset(
+            400, 2, 4, "independent", seed=81, value_step=1.0
+        )
+        workload = generate_workload(
+            devices=4, sim_time=80.0, distance=300.0,
+            queries_per_device=(1, 2), seed=82,
+        )
+        schedule = (
+            FaultSchedule().duplication(0.0, 1.0, duration=250.0)
+            if faults else None
+        )
+        config = SimulationConfig(
+            strategy=strategy, sim_time=80.0, seed=83, faults=schedule,
+            protocol=ProtocolConfig(
+                query_timeout=60.0, ack_timeout=2.0, result_retries=2,
+            ),
+        )
+        result = run_manet_simulation(dataset, workload, config)
+        signature = [
+            (r.key, r.completion_time, r.closed_at,
+             sorted(r.contributions), result_values(r.result))
+            for r in result.records
+        ]
+        return signature, result.traffic
+
+    @pytest.mark.parametrize("strategy", ["bf", "df"])
+    def test_dup_window_run_bit_identical(self, strategy):
+        clean, _ = self.run_signature(strategy, faults=False)
+        dup, traffic = self.run_signature(strategy, faults=True)
+        assert traffic.duplicates > 0  # the window actually fired
+        assert dup == clean

@@ -1,0 +1,242 @@
+"""The data-update event path: seeded relation perturbation, update
+schedules, the injector, and its coordinator wiring.
+
+Updates are the continuous layer's only source of answer change (tuple
+sites are static), so this file pins the properties the subscription
+machinery leans on: determinism, value-only perturbation, epoch bumps,
+and crash-transparency (data lives on storage, not in volatile
+protocol state).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_global_dataset
+from repro.faults import (
+    DataUpdateSchedule,
+    UpdateEvent,
+    UpdateInjector,
+    perturb_relation,
+)
+from repro.net import RadioConfig, Simulator, StaticPlacement, World
+from repro.protocol import BFDevice, ProtocolConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(
+        400, 2, 4, "independent", seed=11, value_step=1.0
+    )
+
+
+@pytest.fixture(scope="module")
+def relation(dataset):
+    return dataset.local(0)
+
+
+class TestPerturbRelation:
+    def test_deterministic(self, relation):
+        a = perturb_relation(relation, 0.3, seed=5)
+        b = perturb_relation(relation, 0.3, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, relation):
+        a = perturb_relation(relation, 0.3, seed=5)
+        b = perturb_relation(relation, 0.3, seed=6)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_value_only(self, relation):
+        out = perturb_relation(relation, 0.5, seed=7)
+        assert out is not relation
+        assert np.array_equal(out.site_ids, relation.site_ids)
+        assert np.array_equal(out.xy, relation.xy)
+        assert out.cardinality == relation.cardinality
+
+    def test_changes_bounded_row_count(self, relation):
+        out = perturb_relation(relation, 0.25, seed=3)
+        changed = np.any(out.values != relation.values, axis=1).sum()
+        assert 0 < changed <= int(np.ceil(0.25 * relation.cardinality))
+
+    def test_any_positive_fraction_touches_a_row(self, relation):
+        out = perturb_relation(relation, 1e-6, seed=9)
+        assert np.any(out.values != relation.values)
+
+    def test_values_stay_in_schema_bounds(self, relation):
+        out = perturb_relation(relation, 1.0, seed=13)
+        lows = np.asarray(relation.schema.lows)
+        highs = np.asarray(relation.schema.highs)
+        assert np.all(out.values >= lows - 1e-12)
+        assert np.all(out.values <= highs + 1e-12)
+
+    def test_value_step_quantizes(self, relation):
+        out = perturb_relation(relation, 1.0, seed=13, value_step=1.0)
+        lows = np.asarray(relation.schema.lows)
+        steps = (out.values - lows) / 1.0
+        assert np.allclose(steps, np.round(steps))
+
+    def test_source_relation_unchanged(self, relation):
+        before = relation.values.copy()
+        perturb_relation(relation, 1.0, seed=17)
+        assert np.array_equal(relation.values, before)
+
+    def test_zero_fraction_is_identity(self, relation):
+        assert perturb_relation(relation, 0.0, seed=1) is relation
+
+    def test_fraction_validated(self, relation):
+        with pytest.raises(ValueError):
+            perturb_relation(relation, -0.1, seed=1)
+        with pytest.raises(ValueError):
+            perturb_relation(relation, 1.5, seed=1)
+
+
+class TestUpdateEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(-1.0, 0, 0.5, 1)
+        with pytest.raises(ValueError):
+            UpdateEvent(1.0, 0, 0.0, 1)
+        with pytest.raises(ValueError):
+            UpdateEvent(1.0, 0, 1.5, 1)
+
+    def test_signature(self):
+        event = UpdateEvent(2.0, 3, 0.25, 42)
+        assert event.signature() == (2.0, 3, 0.25, 42)
+
+
+class TestDataUpdateSchedule:
+    def test_builder_keeps_time_order(self):
+        schedule = (DataUpdateSchedule()
+                    .update(45.0, device=1, fraction=0.5)
+                    .update(20.0, device=3, fraction=0.2))
+        assert [e.time for e in schedule] == [20.0, 45.0]
+        assert len(schedule) == 2
+        assert schedule.updated_devices() == [1, 3]
+
+    def test_default_update_seed_is_stable(self):
+        a = DataUpdateSchedule().update(20.0, device=3, fraction=0.2)
+        b = DataUpdateSchedule().update(20.0, device=3, fraction=0.2)
+        assert a.signature() == b.signature()
+
+    def test_empty_schedule_is_falsy(self):
+        assert not DataUpdateSchedule()
+        assert DataUpdateSchedule().update(1.0, 0, 0.1)
+
+    def test_generate_deterministic(self):
+        kwargs = dict(node_count=5, sim_time=100.0, seed=21, updates=8)
+        a = DataUpdateSchedule.generate(**kwargs)
+        b = DataUpdateSchedule.generate(**kwargs)
+        assert a.signature() == b.signature()
+        assert len(a) == 8
+        assert all(0.0 <= e.time < 100.0 for e in a)
+        assert all(0.0 < e.fraction <= 1.0 for e in a)
+
+    def test_generate_window_and_protect(self):
+        schedule = DataUpdateSchedule.generate(
+            node_count=5, sim_time=100.0, seed=22, updates=20,
+            window=(30.0, 60.0), protect=(0,),
+        )
+        assert all(30.0 <= e.time < 60.0 for e in schedule)
+        assert 0 not in schedule.updated_devices()
+
+    def test_generate_validation(self):
+        with pytest.raises(ValueError):
+            DataUpdateSchedule.generate(0, 10.0, seed=1, updates=1)
+        with pytest.raises(ValueError):
+            DataUpdateSchedule.generate(3, 10.0, seed=1, updates=-1)
+        with pytest.raises(ValueError):
+            DataUpdateSchedule.generate(
+                3, 10.0, seed=1, updates=1, window=(5.0, 20.0)
+            )
+        with pytest.raises(ValueError):
+            DataUpdateSchedule.generate(
+                3, 10.0, seed=1, updates=1, protect=(0, 1, 2)
+            )
+
+
+def build_world(dataset, positions):
+    sim = Simulator()
+    world = World(
+        sim, StaticPlacement(positions), RadioConfig(radio_range=250.0)
+    )
+    devices = [
+        BFDevice(world, i, dataset.local(i), config=ProtocolConfig())
+        for i in range(dataset.devices)
+    ]
+    return sim, world, devices
+
+
+class TestUpdateInjector:
+    POSITIONS = [(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (600.0, 0.0)]
+
+    def test_applies_at_scheduled_time_and_bumps_epoch(self, dataset):
+        sim, world, devices = build_world(dataset, self.POSITIONS)
+        schedule = (DataUpdateSchedule()
+                    .update(10.0, device=1, fraction=0.5)
+                    .update(30.0, device=1, fraction=0.5))
+        injector = UpdateInjector(schedule).install(world, devices)
+        before = devices[1].relation
+        sim.run(until=20.0)
+        assert devices[1].data_epoch == 1
+        assert devices[1].relation is not before
+        assert devices[0].data_epoch == 0
+        sim.run(until=40.0)
+        assert devices[1].data_epoch == 2
+        assert injector.applied_signature() == tuple(
+            e.signature() + (True,) for e in schedule
+        )
+
+    def test_crashed_device_still_updated(self, dataset):
+        # Data lives on storage, not volatile protocol state: fail-stop
+        # crashes must not shield a device from data updates.
+        sim, world, devices = build_world(dataset, self.POSITIONS)
+        schedule = DataUpdateSchedule().update(10.0, device=2, fraction=0.5)
+        UpdateInjector(schedule).install(world, devices)
+        world.fail_node(2)
+        sim.run(until=20.0)
+        assert devices[2].data_epoch == 1
+
+    def test_unknown_device_recorded_ineffective(self, dataset):
+        sim, world, devices = build_world(dataset, self.POSITIONS)
+        schedule = DataUpdateSchedule().update(10.0, device=99, fraction=0.5)
+        injector = UpdateInjector(schedule).install(world, devices)
+        sim.run(until=20.0)
+        assert injector.applied_signature()[0][-1] is False
+
+    def test_double_install_rejected(self, dataset):
+        sim, world, devices = build_world(dataset, self.POSITIONS)
+        injector = UpdateInjector(DataUpdateSchedule())
+        injector.install(world, devices)
+        with pytest.raises(RuntimeError):
+            injector.install(world, devices)
+
+    def test_value_step_propagates(self, dataset):
+        sim, world, devices = build_world(dataset, self.POSITIONS)
+        schedule = DataUpdateSchedule().update(10.0, device=1, fraction=1.0)
+        UpdateInjector(schedule, value_step=1.0).install(world, devices)
+        sim.run(until=20.0)
+        lows = np.asarray(devices[1].relation.schema.lows)
+        steps = devices[1].relation.values - lows
+        assert np.allclose(steps, np.round(steps))
+
+
+class TestCoordinatorWiring:
+    def test_simulation_config_updates_applied(self, dataset):
+        from repro.data import generate_workload
+        from repro.protocol import SimulationConfig, run_manet_simulation
+
+        workload = generate_workload(
+            devices=4, sim_time=60.0, distance=300.0,
+            queries_per_device=(1, 1), seed=23,
+        )
+        schedule = DataUpdateSchedule().update(5.0, device=1, fraction=0.5)
+        config = SimulationConfig(
+            strategy="bf", sim_time=60.0, seed=24, updates=schedule,
+        )
+        result = run_manet_simulation(
+            dataset, workload, config, keep_network=True
+        )
+        devices = result.network[2]
+        assert devices[1].data_epoch == 1
+        assert all(
+            d.data_epoch == 0 for d in devices if d.node_id != 1
+        )
