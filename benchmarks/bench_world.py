@@ -1,20 +1,33 @@
 #!/usr/bin/env python
-"""Microbenchmark for the world's connectivity hot path.
+"""Benchmark for the world's connectivity and delivery hot paths.
 
-Measures ``neighbors``, ``reachable_from``, and ``broadcast`` throughput
-at m ∈ {20, 50, 100, 200} nodes under RandomWaypoint mobility, on the
-epoch-cached neighbor index versus the uncached O(m²) reference path,
-plus end-to-end BF and DF query runs (wall-clock and mean in-simulation
-response latency). Emits ``BENCH_world.json``.
+Three sections, one JSON document (``BENCH_world.json``):
+
+* ``micro`` — ``neighbors``, ``reachable_from``, and ``broadcast``
+  throughput at m ∈ {20, 50, 100, 200} nodes under RandomWaypoint
+  mobility, epoch-cached neighbor index versus the uncached O(m²)
+  reference path.
+* ``end_to_end`` — full BF and DF query runs at m = 25 (wall-clock
+  cached vs uncached, best-of-k, plus mean in-simulation response
+  latency).
+* ``scale`` — large-m BF flood runs on the wave delivery path:
+  m = 2,025 wave versus the per-receiver/per-node-loop reference
+  (the pre-scale-out hot loop), and a wave-only m = 10,000 point.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_world.py            # full run
     PYTHONPATH=src python benchmarks/bench_world.py --smoke    # CI smoke
-    PYTHONPATH=src python benchmarks/bench_world.py --check BENCH_world.json
+    PYTHONPATH=src python benchmarks/bench_world.py --profile profile.json
+    PYTHONPATH=src python benchmarks/bench_world.py \
+        --check BENCH_world.json [--baseline BENCH_world.json]
 
-``--check`` validates an existing output file against the schema and
-exits non-zero on any violation (the CI job's integrity gate).
+``--check`` validates an output file against the ``bench_world/v2``
+schema and applies the perf gates — end-to-end cached speedup >= 1.0
+and scale wave speedup >= 5.0 — exiting non-zero on any violation.
+With ``--baseline`` it additionally fails when a speedup regressed to
+less than half the baseline's (speedups are mode-relative ratios, so a
+smoke run stays comparable against the committed full-run baseline).
 """
 
 from __future__ import annotations
@@ -23,11 +36,21 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-SCHEMA_VERSION = "bench_world/v1"
+SCHEMA_VERSION = "bench_world/v2"
 SIZES = (20, 50, 100, 200)
 MICRO_OPS = ("neighbors", "reachable_from", "broadcast")
+#: Scale points; the reference (per-receiver) run only happens at sizes
+#: <= SCALE_REFERENCE_MAX — beyond that only the wave path is feasible.
+SCALE_SIZES = (2025, 10000)
+SCALE_SIZES_SMOKE = (2025,)
+SCALE_REFERENCE_MAX = 2025
+#: Perf gates applied by --check.
+MIN_E2E_SPEEDUP = 1.0
+MIN_SCALE_SPEEDUP = 5.0
+#: Relative speedup tolerance for --check --baseline.
+BASELINE_SPEEDUP_RATIO = 0.5
 
 
 # -- world construction -----------------------------------------------------
@@ -59,6 +82,12 @@ def _build_world(m: int, seed: int, extent_side: float):
     return sim, world
 
 
+def _extent_side(m: int) -> float:
+    # Density matters more than area: keep ~m/8 nodes per radio disk by
+    # scaling the arena with sqrt(m), the regime the paper simulates.
+    return 1000.0 * (m / 50.0) ** 0.5
+
+
 # -- micro measurements -----------------------------------------------------
 
 
@@ -79,9 +108,7 @@ def bench_micro(m: int, smoke: bool) -> Dict[str, Dict[str, float]]:
     """One size point: cached vs uncached throughput for each operation."""
     from repro.net import Frame, FrameKind
 
-    # Density matters more than area: keep ~m/8 nodes per radio disk by
-    # scaling the arena with sqrt(m), the regime the paper simulates.
-    extent_side = 1000.0 * (m / 50.0) ** 0.5
+    extent_side = _extent_side(m)
     n_times = 10 if smoke else 40
     budget = {
         "neighbors": (4 * m if smoke else 40 * m, 2 * m if smoke else 10 * m),
@@ -144,7 +171,12 @@ def bench_micro(m: int, smoke: bool) -> Dict[str, Dict[str, float]]:
 
 
 def bench_end_to_end(smoke: bool) -> Dict[str, Dict[str, float]]:
-    """Full BF/DF runs: wall time cached vs uncached, plus sim latency."""
+    """Full BF/DF runs: wall time cached vs uncached, plus sim latency.
+
+    Wall times are the best of ``reps`` repeats per mode — the runs are
+    seed-deterministic, so the minimum isolates machine noise and keeps
+    the cached/uncached ratio stable enough to gate on.
+    """
     from dataclasses import replace
 
     from repro.data import make_global_dataset, generate_workload
@@ -153,6 +185,7 @@ def bench_end_to_end(smoke: bool) -> Dict[str, Dict[str, float]]:
     devices = 9 if smoke else 25
     cardinality = 600 if smoke else 2000
     sim_time = 150.0 if smoke else 400.0
+    reps = 2 if smoke else 3
     dataset = make_global_dataset(
         cardinality, 2, devices, "independent", seed=7, value_step=1.0
     )
@@ -173,13 +206,15 @@ def bench_end_to_end(smoke: bool) -> Dict[str, Dict[str, float]]:
     out: Dict[str, Dict[str, float]] = {}
     for strategy in ("bf", "df"):
         base = SimulationConfig(strategy=strategy, sim_time=sim_time, seed=9)
-        entry: Dict[str, float] = {}
+        entry: Dict[str, float] = {"reps": float(reps)}
         latencies: List[float] = []
         for cached in (True, False):
             config = replace(base, use_neighbor_cache=cached)
-            start = time.perf_counter()
-            result = run_manet_simulation(dataset, workload, config)
-            wall = time.perf_counter() - start
+            wall = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                result = run_manet_simulation(dataset, workload, config)
+                wall = min(wall, time.perf_counter() - start)
             entry["wall_s_cached" if cached else "wall_s_uncached"] = wall
             if cached:
                 latencies = [
@@ -195,7 +230,85 @@ def bench_end_to_end(smoke: bool) -> Dict[str, Dict[str, float]]:
     return out
 
 
+# -- scale measurements ------------------------------------------------------
+
+
+def _scale_config(mode: str, bulk: Optional[bool], sim_time: float):
+    from repro.protocol import SimulationConfig
+    from repro.protocol.device import ProtocolConfig
+
+    # Result ACKs route originator -> replier and would trigger a
+    # network-wide AODV discovery flood per distant replier; at these
+    # sizes that measures routing pathology, not delivery throughput.
+    # The quorum is lowered so the flood's reachable set completes the
+    # query even when the geometric graph is not fully connected.
+    return SimulationConfig(
+        strategy="bf", sim_time=sim_time, drain_time=sim_time,
+        seed=9, delivery=mode, bulk_index=bulk,
+        protocol=ProtocolConfig(result_ack=False, completion_quorum=0.45),
+    )
+
+
+def bench_scale(m: int, smoke: bool, profiler=None) -> Dict[str, float]:
+    """One large-m BF flood: wave path, and the per-receiver reference
+    when the size still permits it."""
+    from contextlib import nullcontext
+
+    from repro.data import QueryRequest, make_global_dataset
+    from repro.protocol import run_manet_simulation
+    from repro.storage.schema import uniform_schema
+
+    def phase(name):
+        return profiler.phase(name) if profiler is not None else nullcontext()
+
+    side = _extent_side(m)
+    sim_time = 10.0 if smoke else 30.0
+    with phase(f"scale.dataset.m{m}"):
+        schema = uniform_schema(2, spatial_extent=(0.0, 0.0, side, side))
+        dataset = make_global_dataset(
+            2 * m, 2, m, "independent", schema=schema, seed=7, value_step=1.0
+        )
+    workload = [QueryRequest(device=0, time=1.0, distance=2 * side)]
+
+    entry: Dict[str, float] = {"sim_time": sim_time}
+    runs = [("wave", "wave", True)]
+    if m <= SCALE_REFERENCE_MAX:
+        runs.append(("reference", "per_receiver", False))
+    parity = {}
+    for label, mode, bulk in runs:
+        config = _scale_config(mode, bulk, sim_time)
+        with phase(f"scale.{label}.m{m}"):
+            start = time.perf_counter()
+            result = run_manet_simulation(dataset, workload, config)
+            wall = time.perf_counter() - start
+        entry[f"wall_s_{label}"] = wall
+        entry[f"events_{label}"] = float(result.events)
+        parity[label] = (
+            result.traffic.transmissions,
+            result.traffic.deliveries,
+            result.traffic.drops,
+        )
+        if label == "wave":
+            entry["transmissions"] = float(result.traffic.transmissions)
+            entry["deliveries"] = float(result.traffic.deliveries)
+            entry["contributions"] = float(
+                len(result.records[0].contributions) if result.records else 0
+            )
+            entry["queries_completed"] = float(len(result.completed))
+    if "wall_s_reference" in entry:
+        if parity["wave"] != parity["reference"]:  # pragma: no cover
+            raise AssertionError(
+                f"wave/reference traffic diverged at m={m}: {parity}"
+            )
+        entry["speedup"] = entry["wall_s_reference"] / entry["wall_s_wave"]
+    return entry
+
+
 # -- schema -----------------------------------------------------------------
+
+
+def _scale_sizes(smoke: bool):
+    return SCALE_SIZES_SMOKE if smoke else SCALE_SIZES
 
 
 def validate(doc: dict) -> List[str]:
@@ -209,6 +322,7 @@ def validate(doc: dict) -> List[str]:
         errors.append(f"schema must be {SCHEMA_VERSION!r}")
     if not isinstance(doc.get("smoke"), bool):
         errors.append("smoke must be a bool")
+        return errors
     if doc.get("sizes") != list(SIZES):
         errors.append(f"sizes must be {list(SIZES)}")
     micro = doc.get("micro")
@@ -238,58 +352,181 @@ def validate(doc: dict) -> List[str]:
             errors.append(f"end_to_end.{strategy} missing")
             continue
         for field in ("wall_s_cached", "wall_s_uncached", "wall_speedup",
-                      "mean_response_s", "queries_completed"):
+                      "mean_response_s", "queries_completed", "reps"):
             if not num(entry.get(field)):
                 errors.append(f"end_to_end.{strategy}.{field} must be numeric")
+    expected_scale = [str(m) for m in _scale_sizes(doc.get("smoke", False))]
+    scale = doc.get("scale")
+    if not isinstance(scale, dict):
+        errors.append("scale must be an object")
+        scale = {}
+    if sorted(scale) != sorted(expected_scale):
+        errors.append(f"scale must have exactly the points {expected_scale}")
+    for key in expected_scale:
+        point = scale.get(key)
+        if not isinstance(point, dict):
+            continue
+        for field in ("sim_time", "wall_s_wave", "events_wave",
+                      "transmissions", "deliveries"):
+            if not num(point.get(field)) or point.get(field) <= 0:
+                errors.append(f"scale.{key}.{field} must be > 0")
+        if int(key) <= SCALE_REFERENCE_MAX:
+            for field in ("wall_s_reference", "events_reference", "speedup"):
+                if not num(point.get(field)) or point.get(field) <= 0:
+                    errors.append(f"scale.{key}.{field} must be > 0")
+    return errors
+
+
+def gate(doc: dict) -> List[str]:
+    """Perf gates on a schema-valid document (the CI regression check).
+
+    The end-to-end speedup gate applies to full runs only: a smoke
+    run's e2e section finishes in tens of milliseconds, where fixed
+    index-setup costs swamp the cached/uncached ratio.
+    """
+    errors: List[str] = []
+    if not doc.get("smoke", False):
+        for strategy in ("bf", "df"):
+            speedup = doc["end_to_end"].get(strategy, {}).get("wall_speedup")
+            if isinstance(speedup, (int, float)) and speedup < MIN_E2E_SPEEDUP:
+                errors.append(
+                    f"end_to_end.{strategy}.wall_speedup {speedup:.2f} < "
+                    f"{MIN_E2E_SPEEDUP} (cached path slower than uncached)"
+                )
+    for key, point in doc.get("scale", {}).items():
+        speedup = point.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup < MIN_SCALE_SPEEDUP:
+            errors.append(
+                f"scale.{key}.speedup {speedup:.2f} < {MIN_SCALE_SPEEDUP} "
+                f"(wave delivery lost its edge over per-receiver)"
+            )
+    return errors
+
+
+def compare_baseline(doc: dict, baseline: dict) -> List[str]:
+    """Speedup-ratio regression check against a baseline document.
+
+    Speedups are relative (cached/uncached, wave/reference) so a smoke
+    run remains comparable to the committed full-run baseline even
+    though absolute wall times differ.
+    """
+    errors: List[str] = []
+
+    def check(label: str, new, old) -> None:
+        if not isinstance(new, (int, float)) or not isinstance(old, (int, float)):
+            return
+        if new < old * BASELINE_SPEEDUP_RATIO:
+            errors.append(
+                f"{label} speedup {new:.2f} < {BASELINE_SPEEDUP_RATIO} x "
+                f"baseline {old:.2f}"
+            )
+
+    # Only the largest micro size carries enough signal to compare — a
+    # smoke run's small-m points are single-digit-millisecond samples.
+    m = SIZES[-1]
+    for op in MICRO_OPS:
+        check(
+            f"micro.{op}.{m}",
+            doc["micro"].get(op, {}).get(str(m), {}).get("speedup"),
+            baseline["micro"].get(op, {}).get(str(m), {}).get("speedup"),
+        )
+    for key in doc.get("scale", {}):
+        check(
+            f"scale.{key}",
+            doc["scale"][key].get("speedup"),
+            baseline.get("scale", {}).get(key, {}).get("speedup"),
+        )
     return errors
 
 
 # -- entry point ------------------------------------------------------------
 
 
-def run(smoke: bool) -> dict:
+def run(smoke: bool, profiler=None) -> dict:
+    from contextlib import nullcontext
+
+    def phase(name):
+        return profiler.phase(name) if profiler is not None else nullcontext()
+
     doc = {
         "schema": SCHEMA_VERSION,
         "smoke": smoke,
         "radio_range": 250.0,
         "sizes": list(SIZES),
+        "scale_sizes": list(_scale_sizes(smoke)),
         "micro": {op: {} for op in MICRO_OPS},
         "end_to_end": {},
+        "scale": {},
     }
     for m in SIZES:
         print(f"micro m={m} ...", file=sys.stderr)
-        point = bench_micro(m, smoke)
+        with phase(f"micro.m{m}"):
+            point = bench_micro(m, smoke)
         for op in MICRO_OPS:
             doc["micro"][op][str(m)] = point[op]
     print("end-to-end bf/df ...", file=sys.stderr)
-    doc["end_to_end"] = bench_end_to_end(smoke)
+    with phase("end_to_end"):
+        doc["end_to_end"] = bench_end_to_end(smoke)
+    for m in _scale_sizes(smoke):
+        print(f"scale m={m} ...", file=sys.stderr)
+        doc["scale"][str(m)] = bench_scale(m, smoke, profiler=profiler)
     return doc
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="small, fast CI variant (same schema)")
+                        help="small, fast CI variant (same schema; the "
+                             "scale section keeps m=2025 at reduced "
+                             "duration and skips m=10000)")
     parser.add_argument("--out", default="BENCH_world.json",
                         help="output path (default: BENCH_world.json)")
     parser.add_argument("--check", metavar="FILE",
-                        help="validate an existing output file and exit")
+                        help="validate an existing output file, apply the "
+                             "perf gates, and exit")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="with --check: also fail when a speedup "
+                             "regressed below half the baseline's")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="write a phase-profile JSON of the run "
+                             "(CI artifact)")
     args = parser.parse_args(argv)
 
     if args.check:
         with open(args.check) as fh:
             doc = json.load(fh)
         errors = validate(doc)
+        if not errors:
+            errors += gate(doc)
+            if args.baseline:
+                with open(args.baseline) as fh:
+                    base = json.load(fh)
+                errors += [f"schema violation in baseline: {e}"
+                           for e in validate(base)]
+                if not errors:
+                    errors += compare_baseline(doc, base)
         if errors:
             for err in errors:
-                print(f"schema violation: {err}", file=sys.stderr)
+                print(f"bench gate violation: {err}", file=sys.stderr)
             return 1
         r200 = doc["micro"]["reachable_from"]["200"]["speedup"]
+        scale_bits = ", ".join(
+            f"m={key}: {point['wall_s_wave']:.1f}s wave"
+            + (f" ({point['speedup']:.1f}x)" if "speedup" in point else "")
+            for key, point in sorted(doc["scale"].items(), key=lambda kv: int(kv[0]))
+        )
         print(f"{args.check}: valid ({SCHEMA_VERSION}); "
-              f"reachable_from speedup at m=200: {r200:.1f}x")
+              f"reachable_from speedup at m=200: {r200:.1f}x; "
+              f"scale: {scale_bits}"
+              + ("; baseline within tolerance" if args.baseline else ""))
         return 0
 
-    doc = run(smoke=args.smoke)
+    profiler = None
+    if args.profile:
+        from repro.obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    doc = run(smoke=args.smoke, profiler=profiler)
     errors = validate(doc)
     if errors:  # pragma: no cover - self-check
         for err in errors:
@@ -298,6 +535,12 @@ def main(argv=None) -> int:
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.profile:
+        with open(args.profile, "w") as fh:
+            json.dump(profiler.to_bench_json(smoke=args.smoke), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(profiler.render(), file=sys.stderr)
     for op in MICRO_OPS:
         speedups = ", ".join(
             f"m={m}: {doc['micro'][op][str(m)]['speedup']:.1f}x"
@@ -311,6 +554,19 @@ def main(argv=None) -> int:
               f"({entry['wall_speedup']:.1f}x), "
               f"mean response {entry['mean_response_s']:.3f}s over "
               f"{int(entry['queries_completed'])} queries")
+    for key, point in sorted(doc["scale"].items(), key=lambda kv: int(kv[0])):
+        line = (f"{'scale m=' + key:>15}: wave {point['wall_s_wave']:.2f}s, "
+                f"{int(point['transmissions'])} tx, "
+                f"{int(point['deliveries'])} deliveries")
+        if "speedup" in point:
+            line += (f"; reference {point['wall_s_reference']:.2f}s "
+                     f"({point['speedup']:.1f}x)")
+        print(line)
+    gates = gate(doc)
+    if gates:
+        for err in gates:
+            print(f"bench gate violation: {err}", file=sys.stderr)
+        return 1
     print(f"wrote {args.out}")
     return 0
 

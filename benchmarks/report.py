@@ -27,7 +27,7 @@ REPORT_SCHEMA = "bench_report/v1"
 
 #: Known suites, in display order. Missing files are skipped (the obs
 #: suite only exists after ``benchmarks/obs_overhead.py`` has run).
-SUITES = ("world", "query", "local", "obs")
+SUITES = ("world", "query", "local", "obs", "resilience", "continuous")
 
 #: Keys that are metadata, not measurements.
 _META_KEYS = {"schema", "smoke"}

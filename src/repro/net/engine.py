@@ -22,20 +22,31 @@ __all__ = ["Simulator", "EventHandle", "Process"]
 class EventHandle:
     """Handle to a scheduled event; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
-        self, time: float, seq: int, callback: Callable[..., None], args: Tuple
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple,
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing (no-op if already fired)."""
+        """Prevent the event from firing (no-op if already fired or
+        already cancelled — double-cancel is idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -56,6 +67,7 @@ class Simulator:
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -76,7 +88,13 @@ class Simulator:
     def live_pending(self) -> int:
         """Events still queued that will actually fire (cancelled debris
         excluded) — the leaked-timer metric the resilience invariants
-        check after a drained run."""
+        check after a drained run. O(1): a counter incremented on
+        schedule and decremented exactly once per fire or cancel."""
+        return self._live
+
+    def _live_pending_scan(self) -> int:
+        """O(heap) reference count of live queued events — the ground
+        truth the counter is unit-tested against."""
         return sum(1 for h in self._heap if not h.cancelled)
 
     def schedule(
@@ -85,8 +103,9 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(self._now + delay, next(self._seq), callback, tuple(args))
+        handle = EventHandle(self._now + delay, next(self._seq), callback, args, self)
         heapq.heappush(self._heap, handle)
+        self._live += 1
         return handle
 
     def schedule_at(
@@ -124,6 +143,11 @@ class Simulator:
             if until is not None and head.time > until:
                 break
             heapq.heappop(self._heap)
+            # Mark consumed before firing: a cancel() from inside the
+            # callback (or any later one) is a no-op, and the live
+            # counter is decremented exactly once per event.
+            head.cancelled = True
+            self._live -= 1
             self._now = head.time
             head.callback(*head.args)
             self._events_fired += 1
@@ -141,6 +165,8 @@ class Simulator:
             head = heapq.heappop(self._heap)
             if head.cancelled:
                 continue
+            head.cancelled = True
+            self._live -= 1
             self._now = head.time
             head.callback(*head.args)
             self._events_fired += 1

@@ -152,6 +152,19 @@ class RandomWaypoint(MobilityModel):
         #: makes those follow-up lookups O(1).
         self._ends: List[List[float]] = [[] for _ in range(node_count)]
         self._cursors: List[int] = [0] * node_count
+        #: Struct-of-arrays mirror of every node's *current* leg
+        #: (`t_start`, `t_end`, start/end coordinates, and the previous
+        #: leg's end time for the covering test). ``advance`` refreshes
+        #: stale rows; ``positions`` interpolates all nodes in one
+        #: vectorised pass over these arrays. Sentinels (`t_end = -1`,
+        #: `prev_end = -inf`) mark never-located rows as stale.
+        self._soa_t0 = np.zeros(node_count, dtype=np.float64)
+        self._soa_t1 = np.full(node_count, -1.0, dtype=np.float64)
+        self._soa_sx = np.zeros(node_count, dtype=np.float64)
+        self._soa_sy = np.zeros(node_count, dtype=np.float64)
+        self._soa_ex = np.zeros(node_count, dtype=np.float64)
+        self._soa_ey = np.zeros(node_count, dtype=np.float64)
+        self._soa_prev = np.full(node_count, -np.inf, dtype=np.float64)
         if start_positions is not None:
             if len(start_positions) != node_count:
                 raise ValueError(
@@ -180,18 +193,73 @@ class RandomWaypoint(MobilityModel):
     def position(self, node: int, t: float) -> Position:
         if t < 0:
             raise ValueError("time must be >= 0")
+        return self._legs[node][self._locate(node, t)].at(t)
+
+    def _locate(self, node: int, t: float) -> int:
+        """Index of the covering leg (first with end time >= ``t``),
+        extending the trajectory as needed and updating the cursor."""
         legs = self._legs[node]
         ends = self._ends[node]
         while not ends or ends[-1] < t:
             self._extend(node)
-        # Cursor fast path: the covering leg is the first whose end time
-        # is >= t; re-querying the same leg skips the bisection.
+        # Cursor fast path: re-querying the same leg skips the bisection.
         cur = self._cursors[node]
         if cur < len(legs) and ends[cur] >= t and (cur == 0 or ends[cur - 1] < t):
-            return legs[cur].at(t)
+            return cur
         cur = bisect_left(ends, t)
         self._cursors[node] = cur
-        return legs[cur].at(t)
+        return cur
+
+    def advance(self, t: float) -> None:
+        """Refresh the SoA current-leg arrays so every row covers ``t``.
+
+        One vectorised staleness test over all nodes; only rows whose
+        cursor leg no longer covers ``t`` (typically the few nodes that
+        crossed a waypoint since the last sweep) pay the scalar
+        locate-and-copy fix-up.
+        """
+        if t < 0:
+            raise ValueError("time must be >= 0")
+        stale = (self._soa_t1 < t) | (self._soa_prev >= t)
+        if not stale.any():
+            return
+        for node in np.nonzero(stale)[0]:
+            node = int(node)
+            cur = self._locate(node, t)
+            leg = self._legs[node][cur]
+            self._soa_t0[node] = leg.t_start
+            self._soa_t1[node] = leg.t_end
+            self._soa_sx[node], self._soa_sy[node] = leg.start
+            self._soa_ex[node], self._soa_ey[node] = leg.end
+            self._soa_prev[node] = (
+                self._ends[node][cur - 1] if cur else -np.inf
+            )
+
+    def positions(self, t: float) -> np.ndarray:
+        """All node positions at ``t`` in one vectorised interpolation.
+
+        Bit-identical to the scalar :meth:`position` path: both evaluate
+        ``start + clamp((t - t0) / (t1 - t0)) * (end - start)`` in IEEE
+        float64 (degenerate zero-length legs answer their endpoint).
+        """
+        self.advance(t)
+        span = self._soa_t1 - self._soa_t0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = (t - self._soa_t0) / span
+        frac = np.minimum(np.maximum(frac, 0.0), 1.0)
+        x = self._soa_sx + frac * (self._soa_ex - self._soa_sx)
+        y = self._soa_sy + frac * (self._soa_ey - self._soa_sy)
+        degenerate = span <= 0.0
+        if degenerate.any():
+            x = np.where(degenerate, self._soa_ex, x)
+            y = np.where(degenerate, self._soa_ey, y)
+        return np.stack((x, y), axis=1)
+
+    def positions_reference(self, t: float) -> np.ndarray:
+        """The pre-SoA scalar sweep (one :meth:`position` call per node)
+        — kept as the reference the differential tests pin the
+        vectorised :meth:`positions` against."""
+        return MobilityModel.positions(self, t)
 
     def _extend(self, node: int) -> None:
         """Append one (pause, travel) pair to the node's trajectory."""

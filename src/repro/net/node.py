@@ -57,6 +57,12 @@ class Node:
         radio range, so a 1-hop route to it is installed — the standard
         overhearing optimization, which saves a route discovery for the
         common reply-to-neighbour case.
+
+        Ordering contract: within one broadcast, receivers hear the
+        frame in sorted-id order regardless of the world's delivery mode
+        (``wave`` fans out inside a single event in that order;
+        ``per_receiver`` schedules same-time events in that order) — so
+        protocol logic may not depend on which mode is active.
         """
         self.router.learn_route(sender, sender, hops=1)
         if self.router.handle_frame(frame, sender):

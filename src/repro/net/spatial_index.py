@@ -9,12 +9,23 @@ module memoises the answer per simulation time:
 * **Position layer** — one ``mobility.positions(t)`` sweep per distinct
   simulation time yields the full ``(node_count, 2)`` position array,
   shared by every geometric query at that time.
+* **Row layer** — a lone ``neighbors(src)`` between full builds (the
+  broadcast hot path: one row per wave) is answered by a single
+  vectorised distance row against the position memo, without paying for
+  the full all-pairs adjacency. Rows are cached per key; once enough
+  distinct rows are requested at one key the index switches to a full
+  build and amortises.
 * **Grid layer** — a uniform spatial hash with cell size equal to the
   radio range. Two nodes can only be in range if their cells are
   adjacent (Chebyshev distance <= 1), so adjacency construction inspects
   each cell pair once instead of every node pair: the same
   comparison-space pruning the skyline literature applies to dominance
-  tests, applied here to unit-disk neighborhood tests.
+  tests, applied here to unit-disk neighborhood tests. The bulk build
+  enumerates all candidate pairs with array arithmetic (no Python loop
+  over cells or pairs) and emits CSR adjacency; the pre-existing
+  Python-loop build is retained as the reference (``bulk=False`` or
+  ``REPRO_BULK_INDEX=0``) and the differential suite pins both paths
+  bit-identical.
 * **Epoch layer** — fault state (crashed nodes, link blackouts) and
   topology changes (late ``attach``) bump a generation counter; the
   adjacency cache is keyed on ``(sim.now, epoch, radio_range)`` so fault
@@ -31,6 +42,7 @@ between the cached (vectorised) and uncached (scalar) paths.
 from __future__ import annotations
 
 import math
+import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -44,6 +56,32 @@ __all__ = ["NeighborIndex"]
 #: these offsets visit every unordered pair of adjacent cells exactly once.
 _HALF_NEIGHBORHOOD = ((1, 0), (0, 1), (1, 1), (1, -1))
 
+#: Distinct single-row queries tolerated per adjacency key before the
+#: index gives up on lazy rows and performs the full bulk build.
+_ROW_BUILD_THRESHOLD = 8
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _cross_pairs(
+    starts_a: np.ndarray,
+    counts_a: np.ndarray,
+    starts_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (i, j) index pairs of the cartesian products of matched
+    groups, fully vectorised: group k contributes ``counts_a[k] *
+    counts_b[k]`` pairs drawn from consecutive index ranges."""
+    per = counts_a * counts_b
+    total = int(per.sum())
+    if total == 0:
+        return _EMPTY_I64, _EMPTY_I64
+    reps = np.repeat(np.arange(per.size), per)
+    offs = np.arange(total) - np.repeat(np.cumsum(per) - per, per)
+    ai = starts_a[reps] + offs // counts_b[reps]
+    bi = starts_b[reps] + offs % counts_b[reps]
+    return ai, bi
+
 
 class NeighborIndex:
     """Per-simulation-time memo of positions and fault-aware adjacency.
@@ -52,9 +90,18 @@ class NeighborIndex:
     the world's live fault state (``_down``, ``_blackouts``) at rebuild
     time; the world bumps :attr:`epoch` via :meth:`invalidate` whenever
     that state (or the attached-node set) changes.
+
+    Args:
+        world: The owning world.
+        bulk: Use the vectorised all-pairs build + CSR adjacency
+            (default) or the Python-loop reference build. ``None``
+            consults ``REPRO_BULK_INDEX`` (any value but ``0`` enables).
     """
 
-    def __init__(self, world: "World") -> None:
+    def __init__(self, world: "World", bulk: Optional[bool] = None) -> None:
+        if bulk is None:
+            bulk = os.environ.get("REPRO_BULK_INDEX", "1") != "0"
+        self.bulk = bulk
         self._world = world
         self._epoch = 0
         self._rebuilds = 0
@@ -64,8 +111,25 @@ class NeighborIndex:
         self._pos: Optional[np.ndarray] = None
         # adjacency layer, keyed by (time, epoch, radio range)
         self._adj_key: Optional[Tuple[float, int, float]] = None
+        # reference-path products (python dicts of sorted lists)
         self._geom: Dict[int, List[int]] = {}
         self._eff: Dict[int, List[int]] = {}
+        # bulk-path products: CSR adjacency in index space over the
+        # sorted attached-id array, plus lazily materialised lists
+        self._ids: Optional[np.ndarray] = None
+        self._ids_epoch = -1
+        self._ids_arange = True
+        self._idx_of: Optional[Dict[int, int]] = None
+        self._eff_indptr: Optional[np.ndarray] = None
+        self._eff_nbr: Optional[np.ndarray] = None
+        self._geom_indptr: Optional[np.ndarray] = None
+        self._geom_nbr: Optional[np.ndarray] = None
+        self._eff_edges: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._eff_lists: Dict[int, List[int]] = {}
+        self._geom_lists: Dict[int, List[int]] = {}
+        # lazy row cache (bulk path only)
+        self._row_key: Optional[Tuple[float, int, float]] = None
+        self._rows: Dict[int, List[int]] = {}
 
     # -- invalidation -------------------------------------------------------
 
@@ -76,7 +140,8 @@ class NeighborIndex:
 
     @property
     def rebuilds(self) -> int:
-        """Adjacency rebuilds performed so far (cache diagnostics)."""
+        """Full adjacency rebuilds performed so far (cache diagnostics;
+        lazy row answers do not count)."""
         return self._rebuilds
 
     def invalidate(self) -> None:
@@ -118,55 +183,338 @@ class NeighborIndex:
 
     # -- adjacency layer ----------------------------------------------------
 
+    def _key(self) -> Tuple[float, int, float]:
+        world = self._world
+        return (world.sim.now, self._epoch, world.radio.radio_range)
+
     def neighbors(self, node: int) -> List[int]:
         """Fault-aware neighbor ids of ``node``, sorted ascending.
 
         The list is the cache's own — callers must not mutate it.
         """
-        self._ensure()
-        hit = self._eff.get(node)
+        world = self._world
+        if node not in world._nodes:
+            # Unattached node: answer geometrically against the attached
+            # set (legacy World.neighbors semantics), without polluting
+            # the cache.
+            return world._uncached_neighbors(node)
+        if not self.bulk:
+            self._ensure()
+            return self._eff[node]
+        key = self._key()
+        if self._adj_key == key:
+            return self._eff_list(node)
+        if self._row_key != key:
+            self._row_key = key
+            self._rows = {}
+        hit = self._rows.get(node)
         if hit is not None:
             return hit
-        # Unattached node: answer geometrically against the attached set
-        # (legacy World.neighbors semantics), without polluting the cache.
-        return self._world._uncached_neighbors(node)
+        if len(self._rows) >= _ROW_BUILD_THRESHOLD:
+            self._build(key)
+            return self._eff_list(node)
+        row = self._compute_row(node)
+        self._rows[node] = row
+        return row
 
     def geometric_neighbors(self, node: int) -> List[int]:
         """In-range neighbor ids ignoring fault state, sorted ascending."""
+        if node not in self._world._nodes:
+            return [
+                other
+                for other in sorted(self._world._nodes)
+                if self._world.in_range(node, other)
+            ]
         self._ensure()
-        hit = self._geom.get(node)
-        if hit is not None:
-            return hit
-        return [
-            other
-            for other in sorted(self._world._nodes)
-            if self._world.in_range(node, other)
-        ]
+        if not self.bulk:
+            return self._geom[node]
+        lst = self._geom_lists.get(node)
+        if lst is None:
+            i = self._idx(node)
+            sl = self._geom_nbr[self._geom_indptr[i]:self._geom_indptr[i + 1]]
+            lst = self._ids[sl].tolist()
+            self._geom_lists[node] = lst
+        return lst
 
     def reachable_from(self, node: int) -> set:
         """Transitive fault-aware closure of ``node`` (BFS, includes it)."""
         self._ensure()
-        eff = self._eff
+        if not self.bulk:
+            return self._reachable_from_lists(node)
+        indptr = self._eff_indptr
+        nbr = self._eff_nbr
+        n = len(self._ids)
+        seen = np.zeros(n, dtype=bool)
+        start = self._idx(node)
+        seen[start] = True
+        frontier = np.array([start], dtype=np.int64)
+        # Vectorised frontier expansion: gather every frontier node's
+        # CSR slice in one pass, mask out already-seen targets, dedup.
+        while frontier.size:
+            starts = indptr[frontier]
+            cnts = indptr[frontier + 1] - starts
+            total = int(cnts.sum())
+            if total == 0:
+                break
+            reps = np.repeat(np.arange(frontier.size), cnts)
+            offs = np.arange(total) - np.repeat(np.cumsum(cnts) - cnts, cnts)
+            targets = nbr[starts[reps] + offs]
+            fresh = targets[~seen[targets]]
+            if fresh.size == 0:
+                break
+            frontier = np.unique(fresh)
+            seen[frontier] = True
+        return set(self._ids[np.flatnonzero(seen)].tolist())
+
+    def _reachable_from_lists(self, node: int) -> set:
+        """Python-loop BFS — kept as the ground truth the vectorised
+        frontier expansion is compared against. Reads the adjacency
+        through the same per-node rows as :meth:`neighbors`, so it works
+        against either build mode."""
+        self._ensure()
+        row = (self._eff_list if self.bulk
+               else lambda n: self._eff.get(n, ()))
         seen = {node}
         frontier = [node]
         while frontier:
             nxt = []
             for current in frontier:
-                for other in eff.get(current, ()):
+                for other in row(current):
                     if other not in seen:
                         seen.add(other)
                         nxt.append(other)
             frontier = nxt
         return seen
 
+    def edges(self) -> List[Tuple[int, int]]:
+        """Every fault-aware link as an ``(i, j)`` id pair with
+        ``i < j`` — the bulk query ``connectivity_snapshot`` consumes
+        instead of probing every node's neighbor list."""
+        self._ensure()
+        if not self.bulk:
+            return [
+                (i, j)
+                for i, lst in self._eff.items()
+                for j in lst
+                if i < j
+            ]
+        lo, hi = self._eff_edges
+        return list(zip(lo.tolist(), hi.tolist()))
+
+    # -- builds -------------------------------------------------------------
+
     def _ensure(self) -> None:
-        world = self._world
-        key = (world.sim.now, self._epoch, world.radio.radio_range)
+        key = self._key()
         if self._adj_key == key:
             return
         self._build(key)
 
+    def _ids_array(self) -> np.ndarray:
+        if self._ids_epoch != self._epoch or self._ids is None:
+            ids = sorted(self._world._nodes)
+            arr = np.asarray(ids, dtype=np.int64)
+            self._ids = arr
+            self._ids_epoch = self._epoch
+            n = len(arr)
+            self._ids_arange = bool(n == 0 or (int(arr[-1]) == n - 1))
+            self._idx_of = (
+                None if self._ids_arange
+                else {int(v): k for k, v in enumerate(arr)}
+            )
+        return self._ids
+
+    def _idx(self, node: int) -> int:
+        return node if self._ids_arange else self._idx_of[node]
+
+    def _compute_row(self, node: int) -> List[int]:
+        """One node's fault-aware neighbor list from a single vectorised
+        distance row — no grid, no all-pairs work."""
+        world = self._world
+        if node in world._down:
+            return []
+        pos = self.positions()
+        ids = self._ids_array()
+        r = world.radio.radio_range
+        sub = pos[ids]
+        x = pos[node, 0]
+        y = pos[node, 1]
+        dx = sub[:, 0] - x
+        dy = sub[:, 1] - y
+        mask = (dx * dx + dy * dy) <= r * r
+        cand = ids[mask]
+        down = world._down
+        blackouts = world._blackouts
+        partitions = world._partitions
+        if partitions:
+            pa = (float(x), float(y))
+        out: List[int] = []
+        for j in cand.tolist():
+            if j == node or j in down:
+                continue
+            if blackouts and frozenset((node, j)) in blackouts:
+                continue
+            if partitions and not world._same_partition_side(
+                pa, (float(pos[j, 0]), float(pos[j, 1]))
+            ):
+                continue
+            out.append(j)
+        return out
+
+    def _eff_list(self, node: int) -> List[int]:
+        lst = self._eff_lists.get(node)
+        if lst is None:
+            i = self._idx(node)
+            sl = self._eff_nbr[self._eff_indptr[i]:self._eff_indptr[i + 1]]
+            lst = self._ids[sl].tolist()
+            self._eff_lists[node] = lst
+        return lst
+
     def _build(self, key: Tuple[float, int, float]) -> None:
+        if self.bulk:
+            self._build_bulk(key)
+        else:
+            self._build_reference(key)
+
+    def _build_bulk(self, key: Tuple[float, int, float]) -> None:
+        """Vectorised full build: grid bucketing, candidate-pair
+        enumeration, and range testing all happen in array arithmetic;
+        the result is CSR adjacency plus the undirected edge list."""
+        world = self._world
+        pos_all = self.positions()
+        ids = self._ids_array()
+        n = len(ids)
+        r = world.radio.radio_range
+        if n == 0:
+            self._install_bulk(_EMPTY_I64, _EMPTY_I64, 0)
+            self._adj_key = key
+            self._rebuilds += 1
+            return
+        pos = pos_all[ids]
+        cx = np.floor(pos[:, 0] / r).astype(np.int64)
+        cy = np.floor(pos[:, 1] / r).astype(np.int64)
+        # Collision-free cell keys with a one-cell guard band so the
+        # +-1 neighbor offsets can never wrap into another row.
+        kx = cx - cx.min() + 1
+        ky = cy - cy.min() + 1
+        width = int(ky.max()) + 2
+        cell_key = kx * width + ky
+        order = np.argsort(cell_key, kind="stable")
+        sorted_keys = cell_key[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+        )
+        ukeys = sorted_keys[bounds]
+        starts = bounds.astype(np.int64)
+        counts = np.diff(np.concatenate((starts, [n])))
+
+        pair_a = []
+        pair_b = []
+        ai, bi = _cross_pairs(starts, counts, starts, counts)
+        same = ai < bi  # each unordered in-cell pair exactly once
+        pair_a.append(ai[same])
+        pair_b.append(bi[same])
+        for ox, oy in _HALF_NEIGHBORHOOD:
+            want = ukeys + ox * width + oy
+            j = np.searchsorted(ukeys, want)
+            j_clip = np.minimum(j, len(ukeys) - 1)
+            matched = ukeys[j_clip] == want
+            if not matched.any():
+                continue
+            ai, bi = _cross_pairs(
+                starts[matched], counts[matched],
+                starts[j_clip[matched]], counts[j_clip[matched]],
+            )
+            pair_a.append(ai)
+            pair_b.append(bi)
+        a = order[np.concatenate(pair_a)]
+        b = order[np.concatenate(pair_b)]
+        dx = pos[a, 0] - pos[b, 0]
+        dy = pos[a, 1] - pos[b, 1]
+        hits = (dx * dx + dy * dy) <= r * r
+        a = a[hits]
+        b = b[hits]
+
+        # Effective pairs: both endpoints up, no blackout, same side of
+        # every partition cut — all tested at the pair level.
+        valid = np.ones(len(a), dtype=bool)
+        down = world._down
+        if down:
+            up = np.ones(n, dtype=bool)
+            darr = np.asarray(sorted(down), dtype=np.int64)
+            pos_in = np.searchsorted(ids, darr)
+            ok = pos_in < n
+            ok[ok] = ids[pos_in[ok]] == darr[ok]
+            up[pos_in[ok]] = False
+            valid &= up[a] & up[b]
+        partitions = world._partitions
+        if partitions:
+            side = np.empty((n, len(partitions)), dtype=bool)
+            for k, (axis, coord) in enumerate(partitions):
+                side[:, k] = pos[:, 0 if axis == "x" else 1] >= coord
+            valid &= (side[a] == side[b]).all(axis=1)
+        blackouts = world._blackouts
+        if blackouts:
+            attached = world._nodes
+            encode_base = int(ids[-1]) + 1
+            bl = [
+                lo * encode_base + hi
+                for lo, hi in (sorted(link) for link in blackouts)
+                if lo in attached and hi in attached
+            ]
+            if bl:
+                ida = ids[a]
+                idb = ids[b]
+                lo = np.minimum(ida, idb)
+                hi = np.maximum(ida, idb)
+                enc = lo * encode_base + hi
+                valid &= ~np.isin(enc, np.asarray(bl, dtype=np.int64))
+
+        self._install_bulk(a, b, n, a[valid], b[valid])
+        self._adj_key = key
+        self._rebuilds += 1
+
+    def _install_bulk(
+        self,
+        geom_a: np.ndarray,
+        geom_b: np.ndarray,
+        n: int,
+        eff_a: Optional[np.ndarray] = None,
+        eff_b: Optional[np.ndarray] = None,
+    ) -> None:
+        if eff_a is None:
+            eff_a, eff_b = geom_a, geom_b
+        self._geom_indptr, self._geom_nbr = self._csr(geom_a, geom_b, n)
+        self._eff_indptr, self._eff_nbr = self._csr(eff_a, eff_b, n)
+        ids = self._ids if self._ids is not None else _EMPTY_I64
+        if len(eff_a):
+            ida = ids[eff_a]
+            idb = ids[eff_b]
+            lo = np.minimum(ida, idb)
+            hi = np.maximum(ida, idb)
+            edge_order = np.lexsort((hi, lo))
+            self._eff_edges = (lo[edge_order], hi[edge_order])
+        else:
+            self._eff_edges = (_EMPTY_I64, _EMPTY_I64)
+        self._eff_lists = {}
+        self._geom_lists = {}
+
+    @staticmethod
+    def _csr(a: np.ndarray, b: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Symmetrise undirected index pairs into CSR adjacency with
+        neighbor runs sorted ascending (the determinism contract)."""
+        src = np.concatenate((a, b))
+        dst = np.concatenate((b, a))
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return indptr, dst
+
+    def _build_reference(self, key: Tuple[float, int, float]) -> None:
+        """The original Python-loop build (cells dict, per-pair appends,
+        per-node fault filtering) — the reference the bulk build is
+        differentially tested against."""
         world = self._world
         pos = self.positions()
         ids = sorted(world._nodes)
@@ -184,15 +532,11 @@ class NeighborIndex:
             )
             cells.setdefault(cell, []).append(i)
 
-        # Enumerate candidate pairs (adjacent-cell occupants only) in
-        # plain Python — cells are small, so list appends beat numpy's
-        # per-call overhead — then range-test all candidates in one
-        # vectorised pass.
         cand_a: List[int] = []
         cand_b: List[int] = []
         for (cx, cy), members in cells.items():
             for idx, u in enumerate(members):
-                for v in members[idx + 1 :]:
+                for v in members[idx + 1:]:
                     cand_a.append(u)
                     cand_b.append(v)
             for ox, oy in _HALF_NEIGHBORHOOD:

@@ -6,11 +6,29 @@ takes ``latency + size / bandwidth`` seconds; a frame is lost if the
 receiver has moved out of range by delivery time (mobility-induced loss,
 the dominant loss mode the paper's setting cares about). IEEE
 802.11b-flavoured defaults: 250 m range, 2 Mbit/s effective bandwidth.
+
+Broadcast delivery has two modes (``World(delivery=...)``,
+``REPRO_DELIVERY`` env override):
+
+* ``"wave"`` (default) — one engine event per broadcast *wave*: the
+  receiver set is resolved once at transmit time and the single event
+  fans out to every receiver callback in sorted-id order. At 10k nodes
+  this collapses the per-broadcast heap traffic from ``O(degree)``
+  events to one.
+* ``"per_receiver"`` — the original reference path: one scheduled event
+  per receiver. Kept bit-identical; the differential suite pins full
+  BF/DF/continuous runs equal between the modes (traffic counters,
+  records, energy — everything except the engine's event tally).
+
+Both modes draw loss/duplication/jitter randomness in the same
+per-receiver order and re-check fault state at fire time, so fault
+schedules and RNG streams replay identically.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol
 
@@ -22,7 +40,12 @@ from .messages import Frame, FrameKind
 from .mobility import MobilityModel
 from .spatial_index import NeighborIndex
 
-__all__ = ["World", "RadioConfig", "TrafficStats", "NetworkNode"]
+__all__ = ["World", "RadioConfig", "TrafficStats", "NetworkNode",
+           "DELIVERY_MODES"]
+
+#: Broadcast delivery modes: one event per wave (fast path, default) or
+#: one event per receiver (the bit-identical reference path).
+DELIVERY_MODES = ("wave", "per_receiver")
 
 
 @dataclass(frozen=True)
@@ -129,6 +152,14 @@ class World:
         seed: Seed for the loss process.
         cache: Answer connectivity queries from the neighbor index
             (default) rather than the uncached reference path.
+        delivery: Broadcast delivery mode — ``"wave"`` (one event per
+            broadcast wave, the fast path) or ``"per_receiver"`` (one
+            event per receiver, the reference). ``None`` consults the
+            ``REPRO_DELIVERY`` environment variable, defaulting to
+            ``"wave"``.
+        bulk_index: Forwarded to :class:`NeighborIndex` — vectorised
+            all-pairs adjacency build (default) or the Python-loop
+            reference build.
     """
 
     def __init__(
@@ -138,7 +169,16 @@ class World:
         radio: RadioConfig = RadioConfig(),
         seed: Optional[int] = None,
         cache: bool = True,
+        delivery: Optional[str] = None,
+        bulk_index: Optional[bool] = None,
     ) -> None:
+        if delivery is None:
+            delivery = os.environ.get("REPRO_DELIVERY") or "wave"
+        if delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"delivery must be one of {DELIVERY_MODES}, got {delivery!r}"
+            )
+        self.delivery = delivery
         self.sim = sim
         self.mobility = mobility
         self.radio = radio
@@ -163,7 +203,7 @@ class World:
         #: Delay-jitter fault: max extra uniform delay per hop, seconds.
         self._jitter: float = 0.0
         self.cache_enabled = cache
-        self._index = NeighborIndex(self)
+        self._index = NeighborIndex(self, bulk=bulk_index)
         #: Observability sink (``repro.obs``). Defaults to the shared
         #: no-op observer; every instrumentation site below guards on
         #: ``self.obs.enabled``, so the off path is one attribute load
@@ -490,6 +530,11 @@ class World:
 
         Fault-aware: crashed nodes appear isolated and blacked-out links
         are absent, matching what :meth:`can_communicate` would answer.
+
+        On the cached path the edge set comes from the index's bulk
+        :meth:`~repro.net.spatial_index.NeighborIndex.edges` query (one
+        adjacency build, no per-node probing); ``cache=False`` keeps the
+        Python-loop per-node reference.
         """
         import networkx as nx
 
@@ -497,10 +542,7 @@ class World:
         ids = self.node_ids
         g.add_nodes_from(ids)
         if self.cache_enabled:
-            for i in ids:
-                for j in self._index.neighbors(i):
-                    if i < j:
-                        g.add_edge(i, j)
+            g.add_edges_from(self._index.edges())
             return g
         for i in ids:
             for j in self._uncached_neighbors(i):
@@ -556,7 +598,11 @@ class World:
         """Transmit a one-hop broadcast; returns the receiver ids.
 
         One broadcast is one transmission on the air regardless of how
-        many neighbours hear it (wireless multicast advantage).
+        many neighbours hear it (wireless multicast advantage). In
+        ``"wave"`` delivery mode all receivers sharing a delivery time
+        ride one engine event; ``"per_receiver"`` schedules one event
+        each (the reference). Randomness (loss, duplication, jitter) is
+        drawn in identical per-receiver order on both paths.
         """
         if frame.dst is not None:
             raise ValueError("broadcast frames must have dst=None")
@@ -568,6 +614,8 @@ class World:
             self.obs.frame_sent(frame)
         receivers = []
         delay = self.radio.transfer_delay(frame.size_bytes)
+        if self.delivery == "wave":
+            return self._broadcast_wave(frame, delay, receivers)
         for other in self.neighbors(frame.src):
             if self._lossy():
                 self.stats.drops += 1
@@ -586,6 +634,58 @@ class World:
                     self._jittered(delay), self._deliver_broadcast, other, frame
                 )
         return receivers
+
+    def _broadcast_wave(
+        self, frame: Frame, delay: float, receivers: List[int]
+    ) -> List[int]:
+        """Wave-delivery tail of :meth:`broadcast`: bucket receivers by
+        delivery delay and fire one event per distinct delay.
+
+        Without the jitter fault every receiver shares one delay, so the
+        whole wave is a single event. Bucketing preserves the reference
+        path's ordering contract exactly: same-time deliveries fire in
+        schedule order (here: list order inside one bucket, which is the
+        per-receiver loop order), distinct times order themselves on the
+        heap, and a fault-injected duplicate delivery lands directly
+        after its primary when their jittered delays tie.
+        """
+        waves: Dict[float, List[int]] = {}
+        for other in self.neighbors(frame.src):
+            if self._lossy():
+                self.stats.drops += 1
+                if self.obs.enabled:
+                    self.obs.frame_dropped(frame, "loss")
+                continue
+            receivers.append(other)
+            waves.setdefault(self._jittered(delay), []).append(other)
+            if self._duplicated():
+                self.stats.duplicates += 1
+                if self.obs.enabled:
+                    self.obs.frame_duplicated(frame)
+                waves.setdefault(self._jittered(delay), []).append(other)
+        for wave_delay, nodes in waves.items():
+            self.sim.schedule(wave_delay, self._deliver_wave, nodes, frame)
+        return receivers
+
+    def _deliver_wave(self, nodes: List[int], frame: Frame) -> None:
+        """Fan one broadcast wave out to its receivers in order.
+
+        Each receiver's fault state is re-checked immediately before its
+        callback — identical to the per-receiver path, where same-time
+        delivery events fire back to back and each performs the check at
+        its own fire time. A callback that crashes a later receiver in
+        the same wave therefore suppresses that delivery on both paths.
+        """
+        for node in nodes:
+            if (
+                node in self._down
+                or frozenset((frame.src, node)) in self._blackouts
+            ):
+                self.stats.drops += 1
+                if self.obs.enabled:
+                    self.obs.frame_dropped(frame, "fault")
+                continue
+            self._deliver_to(node, frame)
 
     def _deliver_broadcast(self, node: int, frame: Frame) -> None:
         # Fault re-check only (no mobility re-check, matching the

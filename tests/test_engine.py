@@ -149,6 +149,74 @@ class TestCancellation:
         handle.cancel()  # must not raise
 
 
+class TestLivePendingCounter:
+    """The O(1) live-event counter must track the O(heap) scan exactly
+    (the resilience invariants call ``live_pending`` after every chaos
+    run, so it has to be cheap *and* right)."""
+
+    def test_counter_matches_scan_under_mixed_churn(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i % 7) + 0.5, lambda: None)
+                   for i in range(50)]
+        assert sim.live_pending == 50 == sim._live_pending_scan()
+        for h in handles[::3]:
+            h.cancel()
+        assert sim.live_pending == sim._live_pending_scan()
+        sim.run(until=3.0)
+        assert sim.live_pending == sim._live_pending_scan()
+        sim.run()
+        assert sim.live_pending == 0 == sim._live_pending_scan()
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        h.cancel()
+        assert sim.live_pending == 1 == sim._live_pending_scan()
+        other.cancel()
+        assert sim.live_pending == 0
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        keeper = sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        h.cancel()
+        h.cancel()
+        assert sim.live_pending == 1 == sim._live_pending_scan()
+        keeper.cancel()
+        assert sim.live_pending == 0
+
+    def test_self_cancel_inside_callback(self):
+        sim = Simulator()
+        box = {}
+
+        def cb():
+            box["handle"].cancel()  # cancelling the firing event: no-op
+
+        box["handle"] = sim.schedule(1.0, cb)
+        sim.run()
+        assert sim.live_pending == 0 == sim._live_pending_scan()
+        assert sim.events_fired == 1
+
+    def test_counter_survives_nested_scheduling_and_cancel(self):
+        sim = Simulator()
+
+        def outer():
+            inner = sim.schedule(1.0, lambda: None)
+            sim.schedule(2.0, lambda: None)
+            inner.cancel()
+
+        sim.schedule(1.0, outer)
+        assert sim.live_pending == 1
+        sim.run(until=1.0)
+        assert sim.live_pending == 1 == sim._live_pending_scan()
+        sim.run()
+        assert sim.live_pending == 0
+
+
 class TestProcesses:
     def test_generator_process(self):
         sim = Simulator()

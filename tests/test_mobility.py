@@ -112,3 +112,42 @@ class TestRandomWaypoint:
         m = RandomWaypoint(2, extent=(0, 0, 1000, 1000), seed=seed)
         x, y = m.position(0, t)
         assert 0 <= x <= 1000 and 0 <= y <= 1000
+
+
+class TestVectorisedPositions:
+    """The SoA `positions` sweep must replay the scalar path bit for bit."""
+
+    def test_positions_match_reference_over_random_times(self):
+        a = RandomWaypoint(30, seed=7, holding_time=4.0)
+        b = RandomWaypoint(30, seed=7, holding_time=4.0)
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0.0, 800.0, size=150))
+        for t in times:
+            va = a.positions(float(t))
+            vb = b.positions_reference(float(t))
+            assert (va == vb).all(), f"diverged at t={t}"
+
+    def test_positions_match_scalar_on_same_instance(self):
+        m = RandomWaypoint(12, seed=19, holding_time=0.0)
+        for t in (0.0, 3.7, 3.7, 120.4, 55.5, 0.0, 999.9):
+            arr = m.positions(t)
+            for i in range(12):
+                assert m.position(i, t) == (arr[i, 0], arr[i, 1])
+
+    def test_non_monotone_queries_refresh_soa_rows(self):
+        m = RandomWaypoint(8, seed=2, holding_time=1.0)
+        late = m.positions(400.0).copy()
+        early = m.positions(5.0).copy()
+        again = m.positions(400.0)
+        assert (late == again).all()
+        assert (early == m.positions_reference(5.0)).all()
+
+    def test_zero_holding_time_degenerate_legs(self):
+        m = RandomWaypoint(6, seed=11, holding_time=0.0)
+        ref = RandomWaypoint(6, seed=11, holding_time=0.0)
+        for t in (0.0, 0.5, 10.0, 200.0):
+            assert (m.positions(t) == ref.positions_reference(t)).all()
+
+    def test_advance_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(2, seed=1).advance(-1.0)

@@ -32,12 +32,14 @@ class Recorder:
         self.received.append((frame, sender))
 
 
-def waypoint_world(m=24, seed=11, radio_range=180.0, extent=(0, 0, 600, 600)):
+def waypoint_world(m=24, seed=11, radio_range=180.0, extent=(0, 0, 600, 600),
+                   bulk=None):
     sim = Simulator()
     mobility = RandomWaypoint(
         node_count=m, extent=extent, holding_time=5.0, seed=seed
     )
-    world = World(sim, mobility, RadioConfig(radio_range=radio_range), seed=seed)
+    world = World(sim, mobility, RadioConfig(radio_range=radio_range),
+                  seed=seed, bulk_index=bulk)
     nodes = [Recorder(world, i) for i in range(m)]
     return sim, world, nodes
 
@@ -59,13 +61,28 @@ def assert_world_agrees(world):
     }
     assert {tuple(sorted(e)) for e in g.edges} == expected_edges
     assert set(g.nodes) == set(ids)
+    # The index's bulk edge list must agree with the per-node answers,
+    # arrive sorted, and match the frontier-expansion reference.
+    edges = world._index.edges()
+    assert set(edges) == expected_edges
+    assert edges == sorted(edges)
+    for i in ids:
+        assert (world._index.reachable_from(i)
+                == world._index._reachable_from_lists(i)), (
+            f"vectorised reachable_from({i}) != list reference "
+            f"at t={world.sim.now}"
+        )
 
 
 class TestDifferential:
-    def test_motion_and_faults_200_sampled_times(self):
-        """≥200 sampled times under RWP motion with churn and blackouts."""
+    @pytest.mark.parametrize("bulk", [True, False],
+                             ids=["bulk-build", "reference-build"])
+    def test_motion_and_faults_200_sampled_times(self, bulk):
+        """≥200 sampled times under RWP motion with churn and blackouts,
+        for both the vectorised all-pairs build and the Python-loop
+        reference build."""
         m = 24
-        sim, world, _ = waypoint_world(m=m, seed=11)
+        sim, world, _ = waypoint_world(m=m, seed=11, bulk=bulk)
         rng = np.random.default_rng(42)
         times = np.sort(rng.uniform(0.0, 900.0, size=220))
         for k, t in enumerate(times):
@@ -255,24 +272,31 @@ class TestEndToEndDifferential:
         base = SimulationConfig(
             strategy=strategy, sim_time=200.0, seed=99, faults=faults,
         )
+        variants = {
+            "cached-bulk": dict(use_neighbor_cache=True, bulk_index=True),
+            "cached-reference": dict(use_neighbor_cache=True,
+                                     bulk_index=False),
+            "uncached": dict(use_neighbor_cache=False),
+        }
         outs = {}
-        for cached in (True, False):
-            config = replace(base, use_neighbor_cache=cached)
-            outs[cached] = run_manet_simulation(dataset, workload, config)
-        a, b = outs[True], outs[False]
-        assert a.events == b.events
-        assert a.issued == b.issued and a.suppressed == b.suppressed
-        assert a.fault_events == b.fault_events
-        assert a.traffic.transmissions == b.traffic.transmissions
-        assert a.traffic.deliveries == b.traffic.deliveries
-        assert a.traffic.drops == b.traffic.drops
-        assert a.traffic.by_kind == b.traffic.by_kind
-        assert a.energy_joules == b.energy_joules
-        assert len(a.records) == len(b.records)
-        for ra, rb in zip(a.records, b.records):
-            assert ra.issue_time == rb.issue_time
-            assert ra.originator == rb.originator
-            assert ra.completion_time == rb.completion_time
+        for name, overrides in variants.items():
+            config = replace(base, **overrides)
+            outs[name] = run_manet_simulation(dataset, workload, config)
+        a = outs["cached-bulk"]
+        for b in (outs["cached-reference"], outs["uncached"]):
+            assert a.events == b.events
+            assert a.issued == b.issued and a.suppressed == b.suppressed
+            assert a.fault_events == b.fault_events
+            assert a.traffic.transmissions == b.traffic.transmissions
+            assert a.traffic.deliveries == b.traffic.deliveries
+            assert a.traffic.drops == b.traffic.drops
+            assert a.traffic.by_kind == b.traffic.by_kind
+            assert a.energy_joules == b.energy_joules
+            assert len(a.records) == len(b.records)
+            for ra, rb in zip(a.records, b.records):
+                assert ra.issue_time == rb.issue_time
+                assert ra.originator == rb.originator
+                assert ra.completion_time == rb.completion_time
 
 
 class TestUnattachedNodeFallback:
