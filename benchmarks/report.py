@@ -1,11 +1,15 @@
 #!/usr/bin/env python
 """Merged benchmark trend report.
 
-Folds every committed benchmark document — ``BENCH_world.json``,
-``BENCH_query.json``, ``BENCH_local.json``, and (when present)
-``BENCH_obs.json`` — into one flat trend table, as markdown and JSON.
-The speedup summary puts every suite's headline ratios side by side, so
-one glance answers "did any fast path regress since the last run?".
+Folds every committed benchmark document (``BENCH_world.json``,
+``BENCH_query.json``, ``BENCH_local.json``, ``BENCH_merge.json``, ...)
+into one flat trend table, as markdown and JSON. The speedup summary
+puts every suite's headline ratios side by side, so one glance answers
+"did any fast path regress since the last run?".
+
+A present ``BENCH_<suite>.json`` whose ``schema`` field does not match
+the version this report knows how to read is a hard error (exit 1) —
+a silently mis-parsed trend table is worse than no table.
 
 Usage::
 
@@ -25,9 +29,20 @@ from typing import Dict, List, Tuple
 
 REPORT_SCHEMA = "bench_report/v1"
 
-#: Known suites, in display order. Missing files are skipped (the obs
-#: suite only exists after ``benchmarks/obs_overhead.py`` has run).
-SUITES = ("world", "query", "local", "obs", "resilience", "continuous")
+#: Known suites, in display order, with the schema version this report
+#: understands. Missing files are skipped (the obs suite only exists
+#: after ``benchmarks/obs_overhead.py`` has run); files with any other
+#: schema version fail the run.
+SUITE_SCHEMAS = {
+    "world": "bench_world/v2",
+    "query": "bench_query/v1",
+    "local": "bench_local/v1",
+    "merge": "bench_merge/v1",
+    "obs": "bench_obs/v1",
+    "resilience": "bench_resilience/v1",
+    "continuous": "bench_continuous/v1",
+}
+SUITES = tuple(SUITE_SCHEMAS)
 
 #: Keys that are metadata, not measurements.
 _META_KEYS = {"schema", "smoke"}
@@ -48,13 +63,28 @@ def flatten(doc: Dict, prefix: Tuple[str, ...] = ()) -> List[Tuple[str, float]]:
 
 
 def load_suites(directory: Path) -> Dict[str, Dict]:
-    """Read every ``BENCH_<suite>.json`` present in ``directory``."""
+    """Read every ``BENCH_<suite>.json`` present in ``directory``.
+
+    Raises:
+        ValueError: If a present file carries an unknown ``schema``
+            version (or none at all) — the trend table must never be
+            built from a document this report cannot interpret.
+    """
     suites = {}
     for suite in SUITES:
         path = directory / f"BENCH_{suite}.json"
-        if path.exists():
-            with open(path) as handle:
-                suites[suite] = json.load(handle)
+        if not path.exists():
+            continue
+        with open(path) as handle:
+            doc = json.load(handle)
+        expected = SUITE_SCHEMAS[suite]
+        found = doc.get("schema")
+        if found != expected:
+            raise ValueError(
+                f"{path.name}: unknown schema version {found!r} "
+                f"(this report reads {expected!r})"
+            )
+        suites[suite] = doc
     return suites
 
 
@@ -65,7 +95,10 @@ def build_report(suites: Dict[str, Dict]) -> Dict:
         f"{suite}.{path}": value
         for suite, rows in tables.items()
         for path, value in rows.items()
-        if path.rsplit(".", 1)[-1] in ("speedup", "wall_speedup", "overhead_ratio")
+        if path.rsplit(".", 1)[-1] in (
+            "speedup", "wall_speedup", "overhead_ratio",
+            "speedup_vs_legacy", "speedup_vs_incremental", "lookup_speedup",
+        )
     }
     return {
         "schema": REPORT_SCHEMA,
@@ -115,7 +148,11 @@ def main(argv=None) -> int:
     parser.add_argument("--markdown", metavar="FILE", help="write markdown here")
     args = parser.parse_args(argv)
 
-    suites = load_suites(Path(args.dir))
+    try:
+        suites = load_suites(Path(args.dir))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if not suites:
         print(f"no BENCH_*.json files under {args.dir}", file=sys.stderr)
         return 1

@@ -17,6 +17,7 @@ import time
 from typing import Callable, Dict, List
 
 from . import experiments as ex
+from .core.assembly import ASSEMBLERS, configure_assembler
 from .core.local import LOCAL_PATHS, configure_local_path
 
 __all__ = ["main"]
@@ -185,6 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
             "and operation counts are identical, only wall time differs)"
         ),
     )
+    parser.add_argument(
+        "--assembler",
+        choices=ASSEMBLERS,
+        help=(
+            "result-assembly engine: 'incremental' running arrays, "
+            "'partitioned' grid-cell pruning + merge tree, or 'legacy' "
+            "rebuild-per-merge (default: incremental; results are "
+            "bit-identical, only wall time differs)"
+        ),
+    )
     return parser
 
 
@@ -273,6 +284,7 @@ def main(argv=None) -> int:
         return 2
     ex.configure(workers=args.workers, cache_dir=args.cache_dir)
     configure_local_path(args.local_path)
+    configure_assembler(args.assembler)
     if args.obs is not None:
         from .obs import configure_telemetry
 

@@ -249,6 +249,33 @@ class ContinuousResult:
         ]
         return max(divs) if divs else None
 
+    @property
+    def local_cache_stats(self) -> Optional[dict]:
+        """Aggregate per-device local-result cache counters.
+
+        Requires ``keep_network=True`` (None otherwise). The refresh
+        path re-issues the same query signature every epoch, so on
+        update-free devices the hit rate approaches 1.0 — the
+        skyline-diagram serving win the cache exists for.
+        """
+        if self.network is None:
+            return None
+        devices = self.network[2]
+        caches = [
+            d.local_cache for d in devices
+            if getattr(d, "local_cache", None) is not None
+        ]
+        if not caches:
+            return None
+        hits = sum(c.hits for c in caches)
+        misses = sum(c.misses for c in caches)
+        return {
+            "hits": hits,
+            "misses": misses,
+            "invalidations": sum(c.invalidations for c in caches),
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+
 
 def run_continuous_simulation(
     config: ContinuousConfig,

@@ -52,11 +52,15 @@ SMOKE_SEEDS: Tuple[int, ...] = (11, 23, 37, 58, 71)
 CHAOS_DEADLINE = 60.0
 
 
-def chaos_protocol_config(failover: bool = True) -> ProtocolConfig:
+def chaos_protocol_config(
+    failover: bool = True, assembler: Optional[str] = None
+) -> ProtocolConfig:
     """Protocol knobs tightened for fault-heavy short runs.
 
     Retry budgets are deliberately small so the watchdog exhausts (and
     DF failover actually triggers) inside the deadline window.
+    ``assembler=None`` resolves through the usual override/environment
+    chain; CI's partitioned chaos step pins it explicitly.
     """
     return ProtocolConfig(
         query_timeout=CHAOS_DEADLINE,
@@ -64,6 +68,7 @@ def chaos_protocol_config(failover: bool = True) -> ProtocolConfig:
         result_retries=2,
         token_watchdog=12.0,
         token_reissues=1,
+        assembler=assembler,
         resilience=ResiliencePolicy(
             deadline=CHAOS_DEADLINE,
             df_failover=failover,
@@ -169,6 +174,7 @@ def run_chaos_point(
     devices: int = 9,
     cardinality: int = 900,
     sim_time: float = 150.0,
+    assembler: Optional[str] = None,
 ) -> ChaosPoint:
     """One randomized-fault simulation, checked against every invariant.
 
@@ -186,7 +192,7 @@ def run_chaos_point(
     faults = _chaos_faults(
         seed + 2, devices, sim_time, extent=(x_max - x_min, y_max - y_min)
     )
-    protocol = chaos_protocol_config(failover)
+    protocol = chaos_protocol_config(failover, assembler=assembler)
     config = SimulationConfig(
         strategy=strategy,
         sim_time=sim_time,
@@ -233,6 +239,7 @@ def chaos_suite(
     strategies: Sequence[str] = ("bf", "df"),
     failover: bool = True,
     progress: Optional[int] = None,
+    assembler: Optional[str] = None,
 ) -> ChaosReport:
     """Run the invariant suite over many seeds and strategies.
 
@@ -243,6 +250,8 @@ def chaos_suite(
             (ignored by BF, which has no token to lose).
         progress: If given, print one status line every ``progress``
             completed runs.
+        assembler: Result-assembly engine for every run (``None``
+            resolves via the override/environment chain).
 
     Returns:
         A :class:`ChaosReport`; ``report.ok`` is the pass/fail verdict.
@@ -252,7 +261,9 @@ def chaos_suite(
     total = len(seeds) * len(strategies)
     for seed in seeds:
         for strategy in strategies:
-            report.points.append(run_chaos_point(seed, strategy, failover))
+            report.points.append(
+                run_chaos_point(seed, strategy, failover, assembler=assembler)
+            )
             done += 1
             if progress and done % progress == 0:
                 print(f"  chaos {done}/{total} runs...", flush=True)

@@ -24,14 +24,22 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from ..core.assembly import DEFAULT_MERGE_BLOCK, SkylineAssembler, merge_skylines
+from ..core.assembly import (
+    ASSEMBLERS,
+    SkylineAssembler,
+    merge_skylines,
+    resolve_assembler,
+    resolve_merge_block,
+)
 from ..core.filtering import Estimation, FilteringTuple, select_filter
 from ..core.local import (
     LOCAL_PATHS,
+    LocalResultCache,
     LocalSkylineResult,
     local_skyline,
     local_skyline_vectorized,
 )
+from ..storage.base import AccessStats
 from ..core.query import QueryCounter, QueryLog, SkylineQuery
 from ..devices.cost_model import PDA_2006, DeviceCostModel
 from ..devices.energy import EnergyMeter
@@ -121,14 +129,27 @@ class ProtocolConfig:
             deadline budgets, DF→BF failover, orphan suppression,
             completion reports. Defaults are inert: a default policy
             reproduces the pre-resilience protocol bit for bit.
-        assembler: ``incremental`` (default) merges partial skylines via
-            the running-array assembler and chunked dominance passes;
-            ``legacy`` rebuilds a relation per contribution with one
-            unbounded broadcast — the reference path. Results are
-            bit-identical; the switch exists for differential tests and
-            benchmarks.
+        assembler: ``incremental`` merges partial skylines via the
+            running-array assembler and chunked dominance passes;
+            ``partitioned`` adds grid-cell dominance-frontier pruning
+            and merge-tree batching; ``legacy`` rebuilds a relation per
+            contribution with one unbounded broadcast — the reference
+            path. Results are bit-identical across all three. ``None``
+            (default) resolves via
+            :func:`~repro.core.assembly.resolve_assembler`: the CLI's
+            ``--assembler`` override, then ``REPRO_ASSEMBLER``, then
+            ``incremental``.
         merge_block: Chunk edge for the incremental dominance passes
             (bounds peak merge memory at ``merge_block² · n`` booleans).
+            ``None`` (default) resolves via
+            :func:`~repro.core.assembly.resolve_merge_block`
+            (``REPRO_MERGE_BLOCK``, then 512).
+        local_cache: Memoize local skyline evaluations per device, keyed
+            on ``(data_epoch, query signature)`` and invalidated by
+            data updates — repeated and continuous-refresh queries skip
+            the SFS scan. Results, counters, and stats stay
+            bit-identical (hits replay the ``AccessStats`` delta).
+        local_cache_size: LRU entry bound for that cache.
     """
 
     use_filter: bool = True
@@ -149,8 +170,10 @@ class ProtocolConfig:
     token_reissues: int = 2
     backtrack_slack: int = 4
     backtrack_retry_delay: float = _BACKTRACK_RETRY_DELAY
-    assembler: str = "incremental"
-    merge_block: int = DEFAULT_MERGE_BLOCK
+    assembler: Optional[str] = None
+    merge_block: Optional[int] = None
+    local_cache: bool = True
+    local_cache_size: int = 64
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
@@ -158,10 +181,12 @@ class ProtocolConfig:
             raise ValueError(f"unknown processor {self.processor!r}")
         if self.local_path not in LOCAL_PATHS:
             raise ValueError(f"unknown local_path {self.local_path!r}")
-        if self.assembler not in ("incremental", "legacy"):
+        if self.assembler is not None and self.assembler not in ASSEMBLERS:
             raise ValueError(f"unknown assembler {self.assembler!r}")
-        if self.merge_block < 1:
+        if self.merge_block is not None and self.merge_block < 1:
             raise ValueError("merge_block must be >= 1")
+        if self.local_cache_size < 1:
+            raise ValueError("local_cache_size must be >= 1")
         if self.query_timeout <= 0:
             raise ValueError("query_timeout must be > 0")
         if not 0 < self.completion_quorum <= 1:
@@ -189,6 +214,18 @@ class ProtocolConfig:
         else ``query_timeout``."""
         deadline = self.resilience.deadline
         return self.query_timeout if deadline is None else deadline
+
+    @property
+    def effective_assembler(self) -> str:
+        """The resolved assembler mode (explicit field → process
+        override → ``REPRO_ASSEMBLER`` → ``incremental``)."""
+        return resolve_assembler(self.assembler)
+
+    @property
+    def effective_merge_block(self) -> int:
+        """The resolved merge block (explicit field →
+        ``REPRO_MERGE_BLOCK`` → 512)."""
+        return resolve_merge_block(self.merge_block)
 
 
 @dataclass
@@ -320,6 +357,14 @@ class SkylineDevice(Node):
         #: continuous layer's safe regions key on it — an unchanged
         #: epoch proves the device's data cannot have moved the answer.
         self.data_epoch = 0
+        #: Skyline-diagram-style memo of local evaluations (None when
+        #: disabled). Keys embed ``data_epoch``; ``apply_update`` and
+        #: crashes flush it explicitly.
+        self.local_cache: Optional[LocalResultCache] = (
+            LocalResultCache(config.local_cache_size)
+            if config.local_cache
+            else None
+        )
         #: Result replies not yet acknowledged by their originator,
         #: keyed by query key (one reply per query per device). Shared
         #: between the BF strategy and DF→BF failover floods.
@@ -353,6 +398,8 @@ class SkylineDevice(Node):
         self._epoch += 1
         self.router.reset()
         self.query_log = QueryLog()
+        if self.local_cache is not None:
+            self.local_cache.invalidate()
         if self._active_key is not None:
             record = self.records.get(self._active_key)
             if record is not None:
@@ -377,6 +424,8 @@ class SkylineDevice(Node):
         elif self.config.processor == "flat":
             self._storage = FlatStorage(relation)
         self.data_epoch += 1
+        if self.local_cache is not None:
+            self.local_cache.invalidate()
 
     def on_recover(self) -> None:
         """World hook: the device rebooted and rejoined clean.
@@ -392,22 +441,58 @@ class SkylineDevice(Node):
     def compute_local(
         self, query: SkylineQuery, flt: Optional[FilteringTuple]
     ) -> LocalSkylineResult:
-        """Run the Figure 4 local skyline with this device's processor."""
+        """Run the Figure 4 local skyline with this device's processor.
+
+        When the local cache is enabled, a repeated ``(data_epoch,
+        query, filter)`` signature returns the memoized result without
+        re-scanning: the stored ``AccessStats`` delta is replayed into
+        the storage model and the (deterministic) processing delay is
+        re-charged, so every downstream observable matches a re-run bit
+        for bit.
+        """
         obs = self.world.obs
         wall0 = time.perf_counter() if obs.enabled else 0.0
+        cache = self.local_cache
+        key = None
+        if cache is not None:
+            key = LocalResultCache.signature(self.data_epoch, query, flt)
+            hit = cache.get(key)
+            if hit is not None:
+                result, stats_delta = hit
+                if self._storage is not None and stats_delta is not None:
+                    self._storage.stats.merge(stats_delta)
+                delay = self.processing_delay(result)
+                self.meter.on_compute(delay)
+                if obs.enabled:
+                    obs.local_eval(
+                        query.key, self.node_id, result, delay,
+                        time.perf_counter() - wall0,
+                    )
+                return result
         if self._storage is not None:
+            stats = self._storage.stats
+            before = (stats.value_reads, stats.id_reads, stats.indirections)
             result = local_skyline(
                 self._storage, query, flt,
                 estimation=self.config.estimation,
                 over_margin=self.config.over_margin,
                 path=self.config.local_path,
             )
+            stats_delta: Optional[AccessStats] = None
+            if cache is not None:
+                stats_delta = AccessStats()
+                stats_delta.value_reads = stats.value_reads - before[0]
+                stats_delta.id_reads = stats.id_reads - before[1]
+                stats_delta.indirections = stats.indirections - before[2]
         else:
             result = local_skyline_vectorized(
                 self.relation, query, flt,
                 estimation=self.config.estimation,
                 over_margin=self.config.over_margin,
             )
+            stats_delta = None
+        if cache is not None:
+            cache.put(key, result, stats_delta)
         delay = self.processing_delay(result)
         self.meter.on_compute(delay)
         if obs.enabled:
@@ -422,13 +507,14 @@ class SkylineDevice(Node):
         return SkylineAssembler(
             self.relation.schema,
             initial,
-            incremental=self.config.assembler == "incremental",
-            block=self.config.merge_block,
+            mode=self.config.effective_assembler,
+            block=self.config.effective_merge_block,
         )
 
     def _merge_partials(self, current: Relation, incoming: Relation) -> Relation:
         """Merge two partial skylines per ``config.assembler``."""
-        block = None if self.config.assembler == "legacy" else self.config.merge_block
+        mode = self.config.effective_assembler
+        block = None if mode == "legacy" else self.config.effective_merge_block
         return merge_skylines(current, incoming, block=block)
 
     def processing_delay(self, result: LocalSkylineResult) -> float:

@@ -157,9 +157,11 @@ def run_static_query(
             The DRR experiments only need the per-device size pairs, and
             assembly dominates their runtime on anti-correlated data —
             pass False there; ``outcome.result`` is then empty.
-        assembler: ``incremental`` (default) or ``legacy`` result
-            assembly — bit-identical outputs, see
-            :class:`~repro.core.assembly.SkylineAssembler`.
+        assembler: ``incremental`` (default), ``partitioned``, or
+            ``legacy`` result assembly — bit-identical outputs, see
+            :class:`~repro.core.assembly.SkylineAssembler`. The
+            partitioned engine additionally tree-combines the collected
+            partials (:meth:`~repro.core.assembly.SkylineAssembler.add_batch`).
     """
     if not 0 <= originator < dataset.devices:
         raise ValueError(
@@ -190,13 +192,11 @@ def run_static_query(
         )
 
     asm = (
-        SkylineAssembler(
-            dataset.schema, org_skyline,
-            incremental=assembler == "incremental",
-        )
+        SkylineAssembler(dataset.schema, org_skyline, mode=assembler)
         if assemble
         else None
     )
+    partials: List[Relation] = []
     contributions: List[StaticContribution] = []
 
     # BFS outward over the grid adjacency; each device receives the
@@ -242,8 +242,14 @@ def run_static_query(
                 )
             )
             if asm is not None:
-                asm.add(sky)
+                partials.append(sky)
             queue.append((neighbor, out_flt))
+
+    if asm is not None:
+        # One batched merge in BFS discovery order — identical rows and
+        # order to per-arrival adds; the partitioned engine pairwise
+        # tree-combines the batch first.
+        asm.add_batch(partials)
 
     return StaticQueryOutcome(
         originator=originator,

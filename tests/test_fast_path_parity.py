@@ -3,11 +3,16 @@
 Three independent fast paths shipped together and each has a slow
 reference implementation that defines correctness:
 
-* the **incremental** :class:`~repro.core.assembly.SkylineAssembler`
-  (running array triple, chunked dominance) versus the **legacy**
-  rebuild-per-merge assembler — compared bit for bit, both on synthetic
-  merge sequences and through full MANET simulations (BF and DF, both
-  distributions, with faults injected);
+* the **incremental** and **partitioned** modes of
+  :class:`~repro.core.assembly.SkylineAssembler` (running array triple
+  with chunked dominance; grid-cell pruning plus merge tree) versus the
+  **legacy** rebuild-per-merge assembler — compared bit for bit, both
+  on synthetic merge sequences and through full MANET simulations (BF
+  and DF, both distributions, with faults injected);
+* the **device-side result cache**
+  (:class:`~repro.core.local.LocalResultCache`) versus uncached
+  recomputation — full runs with the cache on and off must agree on
+  every record, metric, span, and storage access counter;
 * the **parallel** experiment executor versus the serial reference path
   (``workers=1``), including the persistent on-disk run cache;
 * the **cached** derived views of :class:`~repro.storage.relation.Relation`
@@ -107,14 +112,13 @@ def _assert_bit_identical(a: Relation, b: Relation):
 
 
 class TestAssemblerDifferential:
+    @pytest.mark.parametrize("mode", ["incremental", "partitioned"])
     @pytest.mark.parametrize("block", [1, 2, 512])
-    def test_legacy_vs_incremental_exact(self, block):
+    def test_legacy_vs_fast_modes_exact(self, mode, block):
         """Same merge sequence → bit-identical result, any chunk size."""
         for seed in range(20):
             schema, parts = _pool_partials(seed)
-            fast = SkylineAssembler(
-                schema, parts[0], incremental=True, block=block
-            )
+            fast = SkylineAssembler(schema, parts[0], mode=mode, block=block)
             slow = SkylineAssembler(schema, parts[0], incremental=False)
             for part in parts[1:]:
                 fast.add(part)
@@ -159,6 +163,10 @@ class TestAssemblerDifferential:
         slow.add_all(parts)
         assert _rows(slow.result()) == want
 
+        grid = SkylineAssembler(schema, mode="partitioned")
+        grid.add_batch(parts)
+        assert _rows(grid.result()) == want
+
 
 # ---------------------------------------------------------------------------
 # Assembler: full simulations (BF / DF, both distributions, with faults)
@@ -196,15 +204,8 @@ def _simulate(assembler, strategy, distribution):
     return run_manet_simulation(dataset, workload, config)
 
 
-@pytest.mark.parametrize("strategy", ["bf", "df"])
-@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
-def test_simulation_assembler_parity(strategy, distribution):
-    """A faulty MANET run is bit-identical under either assembler:
-    every QueryRecord field, every result table, and the aggregated
-    metrics."""
-    fast = _simulate("incremental", strategy, distribution)
-    slow = _simulate("legacy", strategy, distribution)
-
+def _assert_runs_identical(fast, slow, strategy):
+    """Two simulation results agree on every observable."""
     assert fast.fault_events == slow.fault_events
     assert fast.issued == slow.issued
     assert fast.suppressed == slow.suppressed
@@ -225,6 +226,120 @@ def test_simulation_assembler_parity(strategy, distribution):
         assert rf.local_reduced == rs.local_reduced
         _assert_bit_identical(rf.result, rs.result)
     assert collect_metrics(fast, strategy) == collect_metrics(slow, strategy)
+
+
+@pytest.mark.parametrize("strategy", ["bf", "df"])
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_simulation_assembler_parity(strategy, distribution):
+    """A faulty MANET run is bit-identical under every assembler:
+    every QueryRecord field, every result table, and the aggregated
+    metrics."""
+    slow = _simulate("legacy", strategy, distribution)
+    for mode in ("incremental", "partitioned"):
+        _assert_runs_identical(_simulate(mode, strategy, distribution),
+                               slow, strategy)
+
+
+# ---------------------------------------------------------------------------
+# Device-side local result cache
+# ---------------------------------------------------------------------------
+
+
+def _cached_run(local_cache, strategy, observer=None):
+    """One faulty MANET run with hybrid storage (real access counters)."""
+    dataset = make_global_dataset(
+        800, 2, 9, "independent", seed=201, value_step=1.0
+    )
+    workload = generate_workload(
+        devices=9, sim_time=200.0, distance=350.0,
+        queries_per_device=(1, 2), seed=202,
+    )
+    faults = FaultSchedule.generate(
+        node_count=9, sim_time=200.0, seed=203,
+        crash_fraction=0.2, link_blackouts=1, loss_bursts=1,
+    )
+    config = SimulationConfig(
+        strategy=strategy, sim_time=200.0, seed=204, faults=faults,
+        protocol=ProtocolConfig(
+            use_filter=True, dynamic_filter=True, processor="hybrid",
+            local_cache=local_cache,
+        ),
+    )
+    return run_manet_simulation(
+        dataset, workload, config, observer=observer, keep_network=True,
+    )
+
+
+class TestLocalCacheParity:
+    """The result cache may only change wall time — every simulated
+    observable (records, metrics, spans, storage access counters) must
+    match an uncached run bit for bit."""
+
+    @pytest.mark.parametrize("strategy", ["bf", "df"])
+    def test_simulation_cache_parity(self, strategy):
+        from repro.obs import Observer
+
+        summaries = {}
+        for cached in (True, False):
+            observer = Observer()
+            result = _cached_run(cached, strategy, observer=observer)
+            spans = sorted(
+                (
+                    (s.name, s.cat, s.query, s.node, s.t0, s.t1)
+                    for s in observer.spans
+                ),
+                key=repr,
+            )
+            metrics = {
+                name: value
+                for name, value in observer.metrics.snapshot().items()
+                if "wall" not in name
+            }
+            summaries[cached] = (result, spans, metrics)
+
+        on, off = summaries[True], summaries[False]
+        _assert_runs_identical(on[0], off[0], strategy)
+        assert on[1] == off[1]
+        assert on[2] == off[2]
+        # Storage access counters must agree even though hit replay
+        # charges them through the stored delta, not a re-scan.
+        for da, db in zip(on[0].network[2], off[0].network[2]):
+            assert da.local_cache is not None
+            assert db.local_cache is None
+            sa, sb = da._storage.stats, db._storage.stats
+            assert (sa.value_reads, sa.id_reads, sa.indirections) == (
+                sb.value_reads, sb.id_reads, sb.indirections
+            )
+
+    def test_continuous_cache_parity_and_hits(self):
+        """A re-flood subscription re-issues the same signature every
+        epoch: the cache must hit without moving a single epoch book."""
+        from repro.continuous import ContinuousConfig, run_continuous_simulation
+
+        base = ContinuousConfig(mode="reflood", epochs=5, data_updates=4,
+                                seed=7)
+        uncached = dataclasses.replace(
+            base,
+            protocol=dataclasses.replace(base.protocol, local_cache=False),
+        )
+        on = run_continuous_simulation(base, keep_network=True)
+        off = run_continuous_simulation(uncached, keep_network=True)
+
+        stats = on.local_cache_stats
+        assert stats["hits"] > 0 and stats["hit_rate"] > 0.0
+        assert off.local_cache_stats is None
+
+        assert len(on.record.epochs) == len(off.record.epochs)
+        for ea, eb in zip(on.record.epochs, off.record.epochs):
+            assert ea.epoch == eb.epoch
+            assert ea.tick_time == eb.tick_time
+            assert ea.closed_at == eb.closed_at
+            assert sorted(ea.result_rows) == sorted(eb.result_rows)
+            assert sorted(ea.reporters) == sorted(eb.reporters)
+            assert ea.messages == eb.messages
+        assert on.traffic.transmissions == off.traffic.transmissions
+        assert on.traffic.bytes_sent == off.traffic.bytes_sent
+        assert on.traffic.by_kind == off.traffic.by_kind
 
 
 # ---------------------------------------------------------------------------
