@@ -11,13 +11,25 @@ MANET runs, three ways:
 * ``wall_s_traced`` — the same run with a live
   :class:`~repro.obs.Observer` bound; ``overhead_ratio`` is
   traced/off. Tracing is allowed to cost — the gate on it is loose.
+* ``wall_s_active`` — the *fully active* observer: causal tracing plus
+  an attached flight recorder and stream analyzer (the ``repro
+  blackbox`` configuration); ``active_ratio`` is active/traced, gated
+  at :data:`MAX_ACTIVE_RATIO` so the deep-observability layers stay a
+  bounded increment over plain tracing.
 * ``guard_ns`` — a micro-measure of one guarded no-op site
   (attribute load + branch), the per-site cost of leaving the
   instrumentation wired in permanently.
+* ``detectors`` — streaming anomaly-detector quality over the seeded
+  chaos schedules: ``recall`` (fraction of *impacted* faulted runs —
+  those whose outcome degraded versus their fault-free twin — where at
+  least one detector fired, gated >= :data:`MIN_DETECTOR_RECALL`) and
+  ``false_anomalies`` (total anomalies over the fault-free twins of
+  the same seeds, gated == 0).
 
 Every timed pair first asserts bit-identical results (query
 cardinalities, transmissions, bytes) — the observer's passivity
-contract. Emits ``BENCH_obs.json``.
+contract, including the fully active configuration. Emits
+``BENCH_obs.json`` (``schema: bench_obs/v2``).
 
 Usage::
 
@@ -27,10 +39,12 @@ Usage::
     PYTHONPATH=src python benchmarks/obs_overhead.py \
         --check new.json --baseline BENCH_obs.json
 
-``--check`` validates an output file against the schema. With
-``--baseline``, it additionally fails when the new ``wall_s_off``
-regresses more than 2x against the baseline, or when the in-process
-``overhead_ratio`` of the traced path exceeds ``MAX_TRACED_RATIO``.
+``--check`` validates an output file against the schema and enforces
+the absolute gates (``active_ratio``, detector recall, zero false
+anomalies). With ``--baseline``, it additionally fails when the new
+``wall_s_off`` regresses more than 2x against the baseline, or when
+the in-process ``overhead_ratio`` of the traced path exceeds
+``MAX_TRACED_RATIO``.
 """
 
 from __future__ import annotations
@@ -41,14 +55,23 @@ import sys
 import time
 from typing import Dict
 
-SCHEMA_VERSION = "bench_obs/v1"
+SCHEMA_VERSION = "bench_obs/v2"
 STRATEGIES = ("bf", "df")
 FIELDS = ("wall_s_off", "wall_s_traced", "overhead_ratio",
+          "wall_s_active", "active_ratio",
           "queries_completed", "spans", "events")
+DETECTOR_FIELDS = ("runs", "impacted", "detected", "recall",
+                   "fault_free_runs", "false_anomalies")
 #: Wall-time regression tolerance for --check --baseline (off path).
 REGRESSION_FACTOR = 2.0
 #: Ceiling for traced/off wall ratio (tracing may cost, not explode).
 MAX_TRACED_RATIO = 3.0
+#: Ceiling for active/traced wall ratio — causal graph + flight
+#: recorder + stream analyzer together must stay a bounded increment
+#: over plain span tracing.
+MAX_ACTIVE_RATIO = 1.5
+#: Floor on anomaly-detector recall over the seeded chaos schedules.
+MIN_DETECTOR_RECALL = 0.8
 
 
 # -- fixtures ----------------------------------------------------------------
@@ -88,8 +111,19 @@ def _run_once(strategy: str, smoke: bool, observer=None):
     return wall, result, signature
 
 
+def _active_observer():
+    """The ``repro blackbox`` configuration: causal tracing plus flight
+    recorder plus stream analyzer — the most expensive observer we
+    ship."""
+    from repro.obs import FlightRecorder, Observer, StreamAnalyzer
+
+    return Observer().attach_flight(FlightRecorder()).attach_stream(
+        StreamAnalyzer()
+    )
+
+
 def bench_strategy(strategy: str, smoke: bool) -> Dict[str, float]:
-    """Timed off/traced pair with a parity assertion first."""
+    """Timed off/traced/active triple with parity assertions first."""
     from repro.obs import Observer
 
     _, _, sig_off = _run_once(strategy, smoke)
@@ -97,6 +131,11 @@ def bench_strategy(strategy: str, smoke: bool) -> Dict[str, float]:
     if sig_off != sig_on:  # pragma: no cover - self-check
         raise AssertionError(
             f"{strategy}: traced run diverged from untraced run"
+        )
+    _, _, sig_active = _run_once(strategy, smoke, observer=_active_observer())
+    if sig_off != sig_active:  # pragma: no cover - self-check
+        raise AssertionError(
+            f"{strategy}: active-instrumented run diverged from plain run"
         )
 
     repeats = 2 if smoke else 3
@@ -111,14 +150,77 @@ def bench_strategy(strategy: str, smoke: bool) -> Dict[str, float]:
         if best_traced is None or wall < best_traced:
             best_traced = wall
             observer = candidate
+    best_active = min(
+        _run_once(strategy, smoke, observer=_active_observer())[0]
+        for _ in range(repeats)
+    )
     completed = len(result.completed)
     return {
         "wall_s_off": wall_off,
         "wall_s_traced": best_traced,
         "overhead_ratio": best_traced / wall_off,
+        "wall_s_active": best_active,
+        "active_ratio": best_active / best_traced,
         "queries_completed": float(completed),
         "spans": float(len(observer.spans)),
         "events": float(len(observer.events)),
+    }
+
+
+def _impacted(faulted, twin) -> bool:
+    """Did the fault schedule observably degrade the run?
+
+    An injected schedule is ground truth that faults *happened*, not
+    that they mattered — crashes during idle stretches or on nodes with
+    nothing in flight leave the protocol series identical to the
+    fault-free twin, and no honest protocol-observable detector can
+    (or should) fire on them. Recall is scored over runs where the
+    outcome actually moved: an aborted query, an extra deadline
+    expiry, or a coverage drop versus the twin.
+    """
+    return (
+        faulted.aborted > twin.aborted
+        or faulted.deadline_expired > twin.deadline_expired
+        or faulted.coverage < twin.coverage - 0.02
+    )
+
+
+def bench_detectors(smoke: bool) -> Dict[str, float]:
+    """Score the streaming detectors against the seeded chaos harness.
+
+    Each pinned smoke seed runs twice with a stream analyzer attached:
+    once under its full six-family fault schedule and once as the
+    fault-free twin — same dataset, workload, mobility, and loss
+    process, no fault schedule. Recall is the fraction of *impacted*
+    faulted runs (see :func:`_impacted`) where at least one detector
+    fired; any anomaly on a twin is a false positive.
+    """
+    from repro.experiments.chaos_sweep import SMOKE_SEEDS, run_chaos_point
+
+    seeds = SMOKE_SEEDS[:3] if smoke else SMOKE_SEEDS
+    runs = impacted = detected = fault_free_runs = false_anomalies = 0
+    for i, seed in enumerate(seeds):
+        strategy = STRATEGIES[i % len(STRATEGIES)]
+        observer = _active_observer()
+        faulted_point = run_chaos_point(seed, strategy, observer=observer)
+        runs += 1
+        twin = _active_observer()
+        twin_point = run_chaos_point(
+            seed, strategy, observer=twin, include_faults=False
+        )
+        fault_free_runs += 1
+        false_anomalies += len(twin.stream.health_report()["anomalies"])
+        if _impacted(faulted_point, twin_point):
+            impacted += 1
+            if observer.stream.health_report()["anomalies"]:
+                detected += 1
+    return {
+        "runs": float(runs),
+        "impacted": float(impacted),
+        "detected": float(detected),
+        "recall": detected / impacted if impacted else 1.0,
+        "fault_free_runs": float(fault_free_runs),
+        "false_anomalies": float(false_anomalies),
     }
 
 
@@ -167,7 +269,39 @@ def validate(doc) -> list:
             value = entry.get(fld)
             if not isinstance(value, (int, float)) or value < 0:
                 errors.append(f"end_to_end.{strategy}.{fld} bad: {value!r}")
+    detectors = doc.get("detectors")
+    if not isinstance(detectors, dict):
+        errors.append("detectors must be an object")
+        return errors
+    for fld in DETECTOR_FIELDS:
+        value = detectors.get(fld)
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"detectors.{fld} bad: {value!r}")
     return errors
+
+
+def check_gates(doc) -> list:
+    """Absolute quality gates (no baseline needed); returns failures."""
+    failures = []
+    for strategy in STRATEGIES:
+        entry = doc["end_to_end"][strategy]
+        if entry["active_ratio"] > MAX_ACTIVE_RATIO:
+            failures.append(
+                f"{strategy}: active/traced ratio "
+                f"{entry['active_ratio']:.2f} > {MAX_ACTIVE_RATIO}"
+            )
+    detectors = doc["detectors"]
+    if detectors["recall"] < MIN_DETECTOR_RECALL:
+        failures.append(
+            f"detector recall {detectors['recall']:.2f} < "
+            f"{MIN_DETECTOR_RECALL} over seeded chaos"
+        )
+    if detectors["false_anomalies"] > 0:
+        failures.append(
+            f"{int(detectors['false_anomalies'])} false anomalies on "
+            f"fault-free twin runs (must be 0)"
+        )
+    return failures
 
 
 def check_baseline(doc, baseline) -> list:
@@ -198,6 +332,7 @@ def run(smoke: bool) -> Dict:
     }
     for strategy in STRATEGIES:
         doc["end_to_end"][strategy] = bench_strategy(strategy, smoke)
+    doc["detectors"] = bench_detectors(smoke)
     return doc
 
 
@@ -221,19 +356,26 @@ def main(argv=None) -> int:
             for err in errors:
                 print(f"schema violation: {err}", file=sys.stderr)
             return 1
+        failures = check_gates(doc)
         if args.baseline:
             with open(args.baseline) as fh:
                 baseline = json.load(fh)
-            failures = check_baseline(doc, baseline)
-            if failures:
-                for failure in failures:
-                    print(f"regression: {failure}", file=sys.stderr)
-                return 1
+            failures += check_baseline(doc, baseline)
+        if failures:
+            for failure in failures:
+                print(f"gate failure: {failure}", file=sys.stderr)
+            return 1
         ratios = ", ".join(
-            f"{s}: {doc['end_to_end'][s]['overhead_ratio']:.2f}x"
+            f"{s}: {doc['end_to_end'][s]['overhead_ratio']:.2f}x traced, "
+            f"{doc['end_to_end'][s]['active_ratio']:.2f}x active"
             for s in STRATEGIES
         )
-        print(f"{args.check}: valid ({SCHEMA_VERSION}); traced/off {ratios}")
+        detectors = doc["detectors"]
+        print(
+            f"{args.check}: valid ({SCHEMA_VERSION}); {ratios}; detector "
+            f"recall {detectors['recall']:.2f}, "
+            f"{int(detectors['false_anomalies'])} false anomalies"
+        )
         return 0
 
     doc = run(smoke=args.smoke)
@@ -251,10 +393,22 @@ def main(argv=None) -> int:
         print(
             f"{strategy:>8}: off {entry['wall_s_off']:.2f}s, traced "
             f"{entry['wall_s_traced']:.2f}s "
-            f"({entry['overhead_ratio']:.2f}x), "
+            f"({entry['overhead_ratio']:.2f}x), active "
+            f"{entry['wall_s_active']:.2f}s "
+            f"({entry['active_ratio']:.2f}x of traced), "
             f"{int(entry['spans'])} spans / {int(entry['events'])} events "
             f"over {int(entry['queries_completed'])} queries"
         )
+    detectors = doc["detectors"]
+    print(
+        f"{'detect':>8}: recall {detectors['recall']:.2f} "
+        f"({int(detectors['detected'])}/{int(detectors['impacted'])} "
+        f"impacted of {int(detectors['runs'])} chaos runs), "
+        f"{int(detectors['false_anomalies'])} false anomalies over "
+        f"{int(detectors['fault_free_runs'])} fault-free twins"
+    )
+    for failure in check_gates(doc):
+        print(f"gate failure: {failure}", file=sys.stderr)
     print(f"wrote {args.out}")
     return 0
 

@@ -38,10 +38,14 @@ SUITE_SCHEMAS = {
     "query": "bench_query/v1",
     "local": "bench_local/v1",
     "merge": "bench_merge/v1",
-    "obs": "bench_obs/v1",
+    "obs": "bench_obs/v2",
     "resilience": "bench_resilience/v1",
     "continuous": "bench_continuous/v1",
 }
+#: Canonical display order — engine layers first (world/query/local/
+#: merge), then the cross-cutting suites. Every table and section is
+#: rendered in this order, never alphabetically, so trend diffs stay
+#: stable when suites come and go.
 SUITES = tuple(SUITE_SCHEMAS)
 
 #: Keys that are metadata, not measurements.
@@ -103,16 +107,45 @@ def build_report(suites: Dict[str, Dict]) -> Dict:
     return {
         "schema": REPORT_SCHEMA,
         "suites": {
-            name: {"smoke": bool(doc.get("smoke", False)), "rows": tables[name]}
+            name: {
+                "schema": suites[name].get("schema"),
+                "smoke": bool(doc.get("smoke", False)),
+                "rows": tables[name],
+            }
             for name, doc in suites.items()
         },
         "speedups": speedups,
     }
 
 
+def _suite_order(report: Dict) -> List[str]:
+    """Present suites in canonical :data:`SUITES` order (unknown names,
+    which only a hand-edited report can contain, sort last)."""
+    known = {name: i for i, name in enumerate(SUITES)}
+    return sorted(
+        report["suites"], key=lambda name: (known.get(name, len(known)), name)
+    )
+
+
 def render_markdown(report: Dict) -> str:
-    """Human-facing trend tables."""
+    """Human-facing trend tables, suites in canonical order."""
+    order = _suite_order(report)
     lines = ["# Benchmark trend report", ""]
+    if order:
+        lines += [
+            "## Suites",
+            "",
+            "| suite | schema | mode | metrics |",
+            "| --- | --- | --- | ---: |",
+        ]
+        for suite in order:
+            body = report["suites"][suite]
+            lines.append(
+                f"| {suite} | `{body.get('schema') or '?'}` | "
+                f"{'smoke' if body['smoke'] else 'full'} | "
+                f"{len(body['rows'])} |"
+            )
+        lines.append("")
     speedups = report["speedups"]
     if speedups:
         lines += [
@@ -125,7 +158,8 @@ def render_markdown(report: Dict) -> str:
             f"| `{name}` | {value:.3f} |" for name, value in sorted(speedups.items())
         ]
         lines.append("")
-    for suite, body in sorted(report["suites"].items()):
+    for suite in order:
+        body = report["suites"][suite]
         smoke = " (smoke)" if body["smoke"] else ""
         lines += [f"## {suite}{smoke}", "", "| metric | value |", "| --- | ---: |"]
         lines += [

@@ -81,14 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_FIGURES) + ["trace", "chaos", "continuous"],
+        choices=sorted(_FIGURES) + ["trace", "chaos", "continuous",
+                                    "blackbox"],
         help=(
             "which figure (or figure group) to regenerate; 'trace' runs "
             "one observed simulation per strategy and prints its "
             "query-lifecycle summary; 'chaos' runs the seeded fault "
             "harness and checks the resilience invariants; 'continuous' "
             "sweeps delta-maintained subscriptions against the naive "
-            "re-flood baseline and checks the per-epoch invariants"
+            "re-flood baseline and checks the per-epoch invariants; "
+            "'blackbox' runs one seeded chaos point with the flight "
+            "recorder and streaming detectors on, prints every "
+            "post-mortem dump plus the health dashboard, and can write "
+            "blackbox.json / health.json (or inspect one with --load)"
         ),
     )
     parser.add_argument(
@@ -178,6 +183,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help=(
+            "for the 'blackbox' command: directory to write "
+            "blackbox.json and health.json into"
+        ),
+    )
+    parser.add_argument(
+        "--load",
+        metavar="FILE",
+        help=(
+            "for the 'blackbox' command: render an existing "
+            "blackbox.json instead of running a simulation"
+        ),
+    )
+    parser.add_argument(
         "--local-path",
         choices=LOCAL_PATHS,
         help=(
@@ -208,6 +229,7 @@ def _run_trace(args, scale) -> int:
 
     directory = telemetry_root()
     strategies = ("bf", "df") if args.strategy == "both" else (args.strategy,)
+    spanless = []
     for strategy in strategies:
         start = time.time()
         observer, profiler, _metrics = trace_point(
@@ -219,8 +241,91 @@ def _run_trace(args, scale) -> int:
         print(profiler.render())
         print(f"  [{time.time() - start:.1f}s]")
         print()
+        if not observer.spans:
+            spanless.append(strategy)
     if directory is not None:
         print(f"telemetry written under {Path(directory) / scale.name}")
+    if spanless:
+        # The telemetry bundle is still written and valid (an empty
+        # trace loads fine in Perfetto) — but a span-less trace run is
+        # almost always a misconfiguration, so say so loudly and let
+        # CI notice via the exit code.
+        print(
+            "warning: no spans observed for "
+            + ", ".join(spanless)
+            + " — the run issued no queries (empty trace written)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _run_blackbox(args) -> int:
+    """The ``blackbox`` command: a seeded chaos run with the flight
+    recorder and streaming detectors on, rendered as a post-mortem."""
+    import json
+    from pathlib import Path
+
+    from .obs import load_blackbox, render_dump
+
+    if args.load:
+        try:
+            doc = load_blackbox(args.load)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        dumps = doc.get("dumps", [])
+        print(
+            f"{args.load}: capacity={doc.get('capacity')} "
+            f"nodes={len(doc.get('nodes', {}))} dumps={len(dumps)} "
+            f"evicted={doc.get('evicted')}"
+        )
+        for dump in dumps:
+            print()
+            print(render_dump(dump))
+        return 0
+
+    from .experiments.chaos_sweep import run_chaos_point
+    from .obs import FlightRecorder, Observer, StreamAnalyzer
+
+    strategy = "df" if args.strategy == "both" else args.strategy
+    seed = args.seed_base
+    observer = Observer()
+    flight = FlightRecorder()
+    stream = StreamAnalyzer()
+    observer.attach_flight(flight).attach_stream(stream)
+    start = time.time()
+    point = run_chaos_point(seed, strategy, observer=observer)
+    print(
+        f"=== blackbox: seed={seed} strategy={strategy} "
+        f"queries={point.queries} completed={point.completed} "
+        f"coverage={point.coverage:.3f} faults={point.fault_events} ==="
+    )
+    print()
+    print(stream.render_dashboard())
+    if flight.dumps:
+        for dump in flight.dumps:
+            print()
+            print(render_dump(dump.to_dict()))
+    else:
+        print()
+        print("(no post-mortem triggers fired)")
+    print(f"  [{time.time() - start:.1f}s]")
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        flight.write_json(out / "blackbox.json")
+        with open(out / "health.json", "w") as handle:
+            json.dump(stream.health_report(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"blackbox.json and health.json written under {out}")
+    if point.violations:
+        print()
+        print("invariant violations:", file=sys.stderr)
+        for violation in point.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -289,6 +394,8 @@ def main(argv=None) -> int:
         from .obs import configure_telemetry
 
         configure_telemetry(args.obs)
+    if args.figure == "blackbox":
+        return _run_blackbox(args)
     if args.figure == "chaos":
         return _run_chaos(args)
     if args.figure == "continuous":

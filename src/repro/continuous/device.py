@@ -156,7 +156,7 @@ class ContinuousDevice(BFDevice):
         self._broadcast_subscribe(
             SubscribeMessage(
                 spec=spec, flood=query, kind="install", epoch=0,
-                epochs_total=epochs,
+                epochs_total=epochs, trace=self._trace(spec.key),
             )
         )
         self._arm_epoch_close(record, 0, spec.install_time)
@@ -189,6 +189,7 @@ class ContinuousDevice(BFDevice):
                 spec=record.spec, flood=flood, kind="renew",
                 epoch=record.current_epoch,
                 epochs_total=record.epochs_total,
+                trace=self._trace(record.key),
             )
         )
         self._schedule_epoch_tick(record)
@@ -209,7 +210,8 @@ class ContinuousDevice(BFDevice):
             record.spec.query, cnt=self.query_counter.next_value()
         )
         self.query_log.record(flood)
-        message = UnsubscribeMessage(sub_key=key, flood=flood)
+        message = UnsubscribeMessage(sub_key=key, flood=flood,
+                                     trace=self._trace(key))
         self.world.broadcast(
             Frame(
                 kind=FrameKind.UNSUBSCRIBE,
@@ -272,6 +274,7 @@ class ContinuousDevice(BFDevice):
                 SubscribeMessage(
                     spec=record.spec, flood=flood, kind="reflood",
                     epoch=epoch, epochs_total=record.epochs_total,
+                    trace=self._trace(record.key),
                 )
             )
         self._arm_epoch_close(record, epoch, record.spec.tick_time(epoch))
@@ -344,6 +347,7 @@ class ContinuousDevice(BFDevice):
                     SubscribeMessage(
                         spec=record.spec, flood=flood, kind="renew",
                         epoch=epoch, epochs_total=record.epochs_total,
+                        trace=self._trace(record.key),
                     )
                 )
 
@@ -394,7 +398,10 @@ class ContinuousDevice(BFDevice):
             # Same flood via another path, or a fault-injected duplicate
             # delivery: either way it was fully handled the first time.
             return
-        self._broadcast_subscribe(replace(message, hops=message.hops + 1))
+        self._broadcast_subscribe(replace(
+            message, hops=message.hops + 1,
+            trace=self._trace(message.sub_key),
+        ))
         state = self._subscriber.get(message.sub_key)
         if state is None:
             self._enroll(message)
@@ -529,6 +536,7 @@ class ContinuousDevice(BFDevice):
             leaves=leaves,
             full=False,
             data_epoch=self.data_epoch,
+            trace=self._trace(state.spec.key),
         )
         if self.world.obs.enabled:
             self.world.obs.delta_sent(
@@ -550,6 +558,7 @@ class ContinuousDevice(BFDevice):
             leaves=(),
             full=full,
             data_epoch=self.data_epoch,
+            trace=self._trace(spec.key),
         )
         if self.world.obs.enabled:
             self.world.obs.delta_sent(
@@ -623,7 +632,8 @@ class ContinuousDevice(BFDevice):
                 kind=FrameKind.UNSUBSCRIBE,
                 src=self.node_id,
                 dst=None,
-                payload=replace(message, hops=message.hops + 1),
+                payload=replace(message, hops=message.hops + 1,
+                                trace=self._trace(message.sub_key)),
                 size_bytes=message.size_bytes(self.relation.dimensions),
             )
         )
@@ -644,7 +654,8 @@ class ContinuousDevice(BFDevice):
         """ACK every copy (even duplicates — an unacknowledged sender
         keeps retransmitting), merge each ``(sender, epoch)`` once."""
         if self.config.result_ack:
-            ack = DeltaAckMessage(sub_key=delta.sub_key, epoch=delta.epoch)
+            ack = DeltaAckMessage(sub_key=delta.sub_key, epoch=delta.epoch,
+                                  trace=self._trace(delta.sub_key))
             self.router.send_data(
                 dest=delta.sender,
                 kind=FrameKind.ACK,

@@ -19,12 +19,17 @@ small and fixed, tuples dominate, id lists cost 4 bytes per site.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
 
 from ..core.query import SkylineQuery
 from ..net.messages import QUERY_BYTES, tuple_bytes
 from ..storage.relation import Relation
+
+# Wire payloads carry an optional causal ``trace``
+# (``repro.obs.causal.TraceContext``) under the ``serial`` idiom:
+# ``compare=False``, excluded from ``size_bytes``, and ``None`` in
+# unobserved runs — pure observability metadata.
 
 __all__ = [
     "SubscriptionSpec",
@@ -115,6 +120,7 @@ class SubscribeMessage:
     epoch: int
     epochs_total: int
     hops: int = 1
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self, dimensions: int) -> int:
         """Two query specs (subscription + flood identity) plus the
@@ -149,6 +155,7 @@ class DeltaMessage:
     leaves: Tuple[int, ...] = ()
     full: bool = False
     data_epoch: int = 0
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self, dimensions: int) -> int:
         """Tuples on the wire, 4 bytes per leaving site id, small header."""
@@ -170,6 +177,7 @@ class DeltaAckMessage:
 
     sub_key: Tuple[int, int]
     epoch: int
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self) -> int:
         return 12
@@ -187,6 +195,7 @@ class UnsubscribeMessage:
     sub_key: Tuple[int, int]
     flood: SkylineQuery
     hops: int = 1
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self, dimensions: int) -> int:
         return QUERY_BYTES + 8

@@ -175,12 +175,23 @@ def run_chaos_point(
     cardinality: int = 900,
     sim_time: float = 150.0,
     assembler: Optional[str] = None,
+    observer: Optional[Observer] = None,
+    include_faults: bool = True,
 ) -> ChaosPoint:
     """One randomized-fault simulation, checked against every invariant.
 
     Everything — dataset, workload, mobility, loss process, and the
     fault schedule — derives from ``seed``, so a failing point replays
     identically from its seed alone.
+
+    Args:
+        observer: Optional pre-built observer (e.g. with a flight
+            recorder / stream analyzer attached); a plain one is made
+            when omitted.
+        include_faults: With False the same seed runs *without* its
+            fault schedule — the fault-free twin the streaming
+            detectors are scored against (same dataset, workload,
+            mobility, and loss process).
     """
     dataset = make_global_dataset(
         cardinality, 2, devices, "independent", seed=seed, value_step=1.0,
@@ -191,7 +202,7 @@ def run_chaos_point(
     x_min, y_min, x_max, y_max = dataset.schema.spatial_extent
     faults = _chaos_faults(
         seed + 2, devices, sim_time, extent=(x_max - x_min, y_max - y_min)
-    )
+    ) if include_faults else None
     protocol = chaos_protocol_config(failover, assembler=assembler)
     config = SimulationConfig(
         strategy=strategy,
@@ -204,7 +215,8 @@ def run_chaos_point(
         drain_time=CHAOS_DEADLINE + 60.0,
         faults=faults,
     )
-    observer = Observer()
+    if observer is None:
+        observer = Observer()
     result = run_manet_simulation(
         dataset, workload, config, observer=observer, keep_network=True,
     )

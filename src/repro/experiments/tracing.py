@@ -57,8 +57,12 @@ def dump_run_telemetry(
     Files: ``spans.jsonl`` (archival span/event dump), ``trace.json``
     (Chrome trace-event / Perfetto), ``metrics.json`` (registry
     snapshot plus, when given, the run's aggregated metrics),
-    ``summary.txt`` (per-query table), and ``phases.json`` (phase
-    profile in the BENCH gate shape, when a profiler is given).
+    ``summary.txt`` (per-query table), ``phases.json`` (phase
+    profile in the BENCH gate shape, when a profiler is given),
+    ``health.json`` (streaming health report, when the observer has a
+    :class:`~repro.obs.stream.StreamAnalyzer` attached), and
+    ``blackbox.json`` (flight-recorder rings and dumps, when a
+    :class:`~repro.obs.flight.FlightRecorder` is attached).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -87,6 +91,15 @@ def dump_run_telemetry(
             json.dump(profiler.to_bench_json(), handle, indent=2,
                       sort_keys=True)
             handle.write("\n")
+    stream = getattr(observer, "stream", None)
+    if stream is not None:
+        with open(directory / "health.json", "w") as handle:
+            json.dump(stream.health_report(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    flight = getattr(observer, "flight", None)
+    if flight is not None:
+        flight.write_json(directory / "blackbox.json")
     return directory
 
 

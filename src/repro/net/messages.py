@@ -85,6 +85,10 @@ class Frame:
         payload: Opaque upper-layer content.
         size_bytes: Wire size (drives the transfer delay).
         frame_id: Unique id for tracing.
+        trace: Causal trace context (``repro.obs.causal.TraceContext``),
+            stamped by the observer in ``frame_sent``. Pure
+            observability metadata: ``compare=False``, no wire size,
+            ``None`` in unobserved runs.
     """
 
     kind: str
@@ -93,6 +97,7 @@ class Frame:
     payload: Any = None
     size_bytes: int = HEADER_BYTES
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
 
+from ..obs.ring import resolve_ring_capacity
 from .messages import Frame
 from .world import World
 
@@ -55,6 +56,11 @@ class Tracer:
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is None:
+            # Resolution order matches the flight recorder: explicit
+            # argument, then REPRO_OBS_RING, then unbounded (the
+            # tracer's historical default).
+            capacity = resolve_ring_capacity(default=None)
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         #: Bounded ring when a capacity is set — evicting the oldest
@@ -94,9 +100,11 @@ class Tracer:
         """Stop recording: restore the world's wrapped transmit and
         delivery paths exactly as :meth:`install` found them. Recorded
         events are kept; the tracer can be installed again (on this or
-        another world). Returns self."""
+        another world). Idempotent — uninstalling a tracer that is not
+        installed (never installed, or already uninstalled) is a no-op,
+        so teardown paths can call it unconditionally. Returns self."""
         if self._world is None:
-            raise RuntimeError("tracer not installed on a world")
+            return self
         self._world.stats.record_send = (  # type: ignore[method-assign]
             self._original_record
         )

@@ -30,6 +30,14 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from .causal import (
+    CausalEvent,
+    CausalGraph,
+    QueryTrace,
+    TraceContext,
+    build_causal_graph,
+    trace_of,
+)
 from .exporters import (
     SpanNode,
     build_query_trees,
@@ -38,6 +46,15 @@ from .exporters import (
     query_summary,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from .flight import (
+    BLACKBOX_SCHEMA,
+    FlightDump,
+    FlightEntry,
+    FlightRecorder,
+    load_blackbox,
+    render_dump,
+    validate_blackbox,
 )
 from .observer import (
     NULL_OBSERVER,
@@ -56,11 +73,28 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from .ring import RING_ENV, parse_ring_capacity, resolve_ring_capacity
+from .stream import (
+    HEALTH_SCHEMA,
+    Anomaly,
+    Detector,
+    StreamAnalyzer,
+    validate_health_report,
+)
 
 __all__ = [
+    "Anomaly",
+    "BLACKBOX_SCHEMA",
+    "CausalEvent",
+    "CausalGraph",
     "Counter",
+    "Detector",
     "EventRecord",
+    "FlightDump",
+    "FlightEntry",
+    "FlightRecorder",
     "Gauge",
+    "HEALTH_SCHEMA",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBSERVER",
@@ -70,16 +104,28 @@ __all__ = [
     "Observer",
     "PHASE_SCHEMA",
     "PhaseProfiler",
+    "QueryTrace",
+    "RING_ENV",
     "SpanNode",
     "SpanRecord",
+    "StreamAnalyzer",
+    "TraceContext",
+    "build_causal_graph",
     "build_query_trees",
     "configure_telemetry",
     "export_chrome_trace",
     "export_jsonl",
+    "load_blackbox",
+    "parse_ring_capacity",
     "query_key_of",
     "query_summary",
+    "render_dump",
+    "resolve_ring_capacity",
     "telemetry_root",
+    "trace_of",
+    "validate_blackbox",
     "validate_chrome_trace",
+    "validate_health_report",
     "write_chrome_trace",
 ]
 

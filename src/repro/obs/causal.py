@@ -1,0 +1,289 @@
+"""Causal message tracing: per-query message DAGs.
+
+Every wire message sent while an :class:`~repro.obs.observer.Observer`
+is bound carries a :class:`TraceContext` — the root query span it
+belongs to plus the causal event that produced it. The observer turns
+sends, deliveries, drops, and fault duplicates into a flat stream of
+:class:`CausalEvent` records; this module reconstructs them into
+per-query DAGs answering the questions a span timeline cannot:
+
+* **message trees** — which delivery caused which send, across flood
+  re-broadcasts, result retransmissions, DF token re-issues, DF→BF
+  failover re-floods, and continuous DELTAs;
+* **hop-depth histograms** — how many deliveries happened n causal
+  hops away from the issue event;
+* **critical path** — the exact issue → ... → delivery chain that
+  triggered the query's completion condition, i.e. the sequence of
+  messages that determined the measured response time.
+
+The trace context is observability metadata, not protocol state: it is
+``compare=False`` on every message (equality, dedup, and hashing are
+untouched), excluded from the modelled wire size (it stands for the
+trace ids real transport headers already carry), and ``None`` in every
+unobserved run, so instrumented runs stay bit-identical to plain ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "TraceContext",
+    "CausalEvent",
+    "QueryTrace",
+    "CausalGraph",
+    "build_causal_graph",
+    "trace_of",
+]
+
+QueryKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The causal coordinates a wire message carries.
+
+    Attributes:
+        root: The root query span's sid (the tree every descendant of
+            this message attaches to — re-issued DF keys and failover
+            floods share their root's sid).
+        parent: The causal event id that produced this message: the
+            issue event for an originator's first send, the delivery
+            that triggered a forward/response, or the send event itself
+            once the frame is on the air.
+    """
+
+    root: int
+    parent: Optional[int] = None
+
+
+def trace_of(payload: Any) -> Optional[TraceContext]:
+    """Extract the :class:`TraceContext` a frame payload carries.
+
+    Understands the protocol/continuous messages directly and routed
+    :class:`~repro.net.aodv.DataPacket` wrappers one level deep.
+    """
+    trace = getattr(payload, "trace", None)
+    if trace is not None:
+        return trace
+    inner = getattr(payload, "payload", None)
+    if inner is not None and not isinstance(payload, (dict, tuple)):
+        return getattr(inner, "trace", None)
+    return None
+
+
+@dataclass
+class CausalEvent:
+    """One node of the causal DAG.
+
+    Attributes:
+        cid: Causal event id, unique within one observer.
+        parent: The cid this event descends from (None for issue roots).
+        kind: ``issue`` / ``send`` / ``deliver`` / ``drop`` / ``dup``.
+        time: Simulation time of the event.
+        node: Device the event happened at (transmitter for sends,
+            receiver for deliveries and drops).
+        root: Root query span sid this event belongs to.
+        frame_kind: :class:`~repro.net.messages.FrameKind` string, or
+            None for non-frame events (issue).
+        frame_id: The frame involved, or None.
+        size_bytes: Wire size of the frame involved (0 for issue).
+        note: Free-form annotation (drop reason, alias cnt, ...).
+    """
+
+    cid: int
+    parent: Optional[int]
+    kind: str
+    time: float
+    node: Optional[int]
+    root: int
+    frame_kind: Optional[str] = None
+    frame_id: Optional[int] = None
+    size_bytes: int = 0
+    note: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (flight-recorder dumps, health reports)."""
+        return {
+            "cid": self.cid,
+            "parent": self.parent,
+            "kind": self.kind,
+            "time": self.time,
+            "node": self.node,
+            "root": self.root,
+            "frame_kind": self.frame_kind,
+            "frame_id": self.frame_id,
+            "size_bytes": self.size_bytes,
+            "note": self.note,
+        }
+
+
+@dataclass
+class QueryTrace:
+    """The reconstructed causal DAG of one root query."""
+
+    root_sid: int
+    key: Optional[QueryKey]
+    events: List[CausalEvent] = field(default_factory=list)
+    completion_cause: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._by_cid: Dict[int, CausalEvent] = {}
+        self._children: Dict[Optional[int], List[int]] = {}
+
+    def add(self, event: CausalEvent) -> None:
+        self.events.append(event)
+        self._by_cid[event.cid] = event
+        self._children.setdefault(event.parent, []).append(event.cid)
+
+    def get(self, cid: int) -> Optional[CausalEvent]:
+        """The event recorded under ``cid`` (None if unknown)."""
+        return self._by_cid.get(cid)
+
+    def children_of(self, cid: Optional[int]) -> List[CausalEvent]:
+        """Events whose causal parent is ``cid``, in record order."""
+        return [self._by_cid[c] for c in self._children.get(cid, ())]
+
+    def roots(self) -> List[CausalEvent]:
+        """Events with no recorded parent (normally one issue event)."""
+        return [e for e in self.events if e.parent is None
+                or e.parent not in self._by_cid]
+
+    # -- analyses -----------------------------------------------------------
+
+    def depth_of(self, cid: int) -> int:
+        """Causal hop depth: deliveries on the path from the issue event
+        (the issue itself is depth 0, the first delivery depth 1)."""
+        depth = 0
+        seen = set()
+        event = self._by_cid.get(cid)
+        while event is not None and event.cid not in seen:
+            seen.add(event.cid)
+            if event.kind == "deliver":
+                depth += 1
+            event = (
+                self._by_cid.get(event.parent)
+                if event.parent is not None else None
+            )
+        return depth
+
+    def hop_depth_histogram(self) -> Dict[int, int]:
+        """``{depth: deliveries}`` over every delivery in the DAG."""
+        histogram: Dict[int, int] = {}
+        for event in self.events:
+            if event.kind == "deliver":
+                depth = self.depth_of(event.cid)
+                histogram[depth] = histogram.get(depth, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def chain(self, cid: Optional[int]) -> List[CausalEvent]:
+        """The causal ancestry of ``cid``, issue-first (empty if
+        ``cid`` is unknown)."""
+        out: List[CausalEvent] = []
+        seen = set()
+        event = self._by_cid.get(cid) if cid is not None else None
+        while event is not None and event.cid not in seen:
+            seen.add(event.cid)
+            out.append(event)
+            event = (
+                self._by_cid.get(event.parent)
+                if event.parent is not None else None
+            )
+        out.reverse()
+        return out
+
+    def critical_path(self) -> List[CausalEvent]:
+        """The issue → ... → delivery chain that fired the completion
+        condition — the messages that determined the response time.
+        Empty when the query never completed."""
+        return self.chain(self.completion_cause)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary of the DAG and its analyses."""
+        return {
+            "root_sid": self.root_sid,
+            "query": list(self.key) if self.key is not None else None,
+            "events": len(self.events),
+            "deliveries": sum(1 for e in self.events if e.kind == "deliver"),
+            "drops": sum(1 for e in self.events if e.kind == "drop"),
+            "hop_depth_histogram": {
+                str(k): v for k, v in self.hop_depth_histogram().items()
+            },
+            "critical_path": [e.to_dict() for e in self.critical_path()],
+        }
+
+    def render(self, max_children: int = 8) -> str:
+        """Indented text form of the message tree (debugging / CLI)."""
+        lines: List[str] = []
+
+        def visit(event: CausalEvent, depth: int) -> None:
+            frame = f" {event.frame_kind}" if event.frame_kind else ""
+            note = f" [{event.note}]" if event.note else ""
+            lines.append(
+                f"{'  ' * depth}{event.kind}{frame} cid={event.cid} "
+                f"node={event.node} t={event.time:.3f}{note}"
+            )
+            children = self.children_of(event.cid)
+            for child in children[:max_children]:
+                visit(child, depth + 1)
+            if len(children) > max_children:
+                lines.append(
+                    f"{'  ' * (depth + 1)}... {len(children) - max_children} "
+                    "more"
+                )
+
+        for root in self.roots():
+            visit(root, 0)
+        return "\n".join(lines)
+
+
+class CausalGraph:
+    """Every query's causal DAG, reconstructed from one observer."""
+
+    def __init__(self, queries: Dict[QueryKey, QueryTrace]) -> None:
+        self.queries = queries
+
+    def __getitem__(self, key: QueryKey) -> QueryTrace:
+        return self.queries[key]
+
+    def __contains__(self, key: QueryKey) -> bool:
+        return key in self.queries
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            f"{key[0]}:{key[1]}": trace.to_dict()
+            for key, trace in self.queries.items()
+        }
+
+
+def build_causal_graph(observer) -> CausalGraph:
+    """Group the observer's flat causal stream into per-query DAGs.
+
+    Queries are keyed by their *primary* key — re-issued DF keys and
+    failover keys alias onto the root they share a span with.
+    """
+    primary: Dict[int, QueryKey] = {}
+    for span in observer.spans:
+        if span.name in ("query", "subscription") and span.query is not None:
+            primary.setdefault(span.sid, span.query)
+    traces: Dict[int, QueryTrace] = {}
+    for event in observer.causal:
+        trace = traces.get(event.root)
+        if trace is None:
+            trace = QueryTrace(root_sid=event.root,
+                               key=primary.get(event.root))
+            traces[event.root] = trace
+        trace.add(event)
+    for root_sid, cause in getattr(observer, "_completion_cause", {}).items():
+        trace = traces.get(root_sid)
+        if trace is not None:
+            trace.completion_cause = cause
+    return CausalGraph({
+        trace.key: trace
+        for trace in traces.values()
+        if trace.key is not None
+    })

@@ -246,13 +246,21 @@ _PHASES = {"X", "i", "I", "M", "B", "E", "b", "e", "n", "C"}
 def validate_chrome_trace(doc: Any) -> List[str]:
     """Validate a trace-event document; returns a list of violations
     (empty = valid). Checked: top-level shape, required per-event keys,
-    numeric non-negative ``ts``/``dur``, known phase codes."""
+    numeric non-negative ``ts``/``dur``, known phase codes.
+
+    A document with an empty ``traceEvents`` list is *valid*: a run
+    that observed no spans (no queries issued, observer bound too
+    late) still exports a well-formed trace that Perfetto loads —
+    whether an empty run deserves a warning is the caller's call
+    (the ``repro trace`` command warns and exits nonzero)."""
     problems: List[str] = []
     if not isinstance(doc, dict):
         return ["document is not a JSON object"]
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return ["missing or non-list traceEvents"]
+    if not events:
+        return problems  # explicitly valid: the empty trace
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):

@@ -28,10 +28,13 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from .causal import CausalEvent, TraceContext, trace_of
 from .registry import MetricsRegistry, NULL_REGISTRY
 
 if TYPE_CHECKING:  # import kept type-only: net.world imports this module
     from ..net.messages import Frame
+    from .flight import FlightRecorder
+    from .stream import StreamAnalyzer
 
 __all__ = [
     "SpanRecord",
@@ -137,6 +140,17 @@ class Observer:
         self._hop_spans: Dict[int, int] = {}  # frame_id -> sid
         self._world = None
         self.faults: List[EventRecord] = []
+        #: Flat causal stream (see ``repro.obs.causal``): one record per
+        #: issue / send / deliver / drop / dup, linked by parent cid.
+        self.causal: List[CausalEvent] = []
+        self._next_cid = 0
+        #: (node, root sid) -> cid of the last causal event at that
+        #: node for that query — the parent of whatever it sends next.
+        self._cursor: Dict[Tuple[int, int], int] = {}
+        #: root sid -> cid of the delivery that fired completion.
+        self._completion_cause: Dict[int, Optional[int]] = {}
+        self.flight: Optional["FlightRecorder"] = None
+        self.stream: Optional["StreamAnalyzer"] = None
 
     # -- wiring --------------------------------------------------------------
 
@@ -151,6 +165,81 @@ class Observer:
     def now(self) -> float:
         """Current simulation time (0.0 before binding)."""
         return self._world.sim.now if self._world is not None else 0.0
+
+    def attach_flight(self, recorder: "FlightRecorder") -> "Observer":
+        """Mirror protocol/net/fault hooks into ``recorder``'s per-node
+        rings and let crash / deadline / invariant triggers dump them."""
+        self.flight = recorder
+        return self
+
+    def attach_stream(self, analyzer: "StreamAnalyzer") -> "Observer":
+        """Feed ``analyzer``'s sliding windows from this observer's
+        registry and hooks (windows roll lazily — no sim events)."""
+        self.stream = analyzer.attach(self.metrics)
+        return self
+
+    # -- causal helpers -------------------------------------------------------
+
+    def _causal_add(
+        self,
+        kind: str,
+        parent: Optional[int],
+        root: int,
+        node: Optional[int],
+        frame: Optional["Frame"] = None,
+        note: Optional[str] = None,
+    ) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        self.causal.append(CausalEvent(
+            cid=cid, parent=parent, kind=kind, time=self.now, node=node,
+            root=root,
+            frame_kind=frame.kind if frame is not None else None,
+            frame_id=frame.frame_id if frame is not None else None,
+            size_bytes=frame.size_bytes if frame is not None else 0,
+            note=note,
+        ))
+        return cid
+
+    def trace_context(
+        self, key: Optional[QueryKey], node: int
+    ) -> Optional[TraceContext]:
+        """The causal coordinates a message constructed at ``node`` for
+        query ``key`` should carry (None for unobserved queries).
+        Protocol code stamps this on outgoing wire messages when
+        observation is on; it is pure metadata (``compare=False``,
+        no wire size), so stamped runs stay bit-identical."""
+        if key is None:
+            return None
+        root = self._query_roots.get(key)
+        if root is None:
+            return None
+        return TraceContext(root=root, parent=self._cursor.get((node, root)))
+
+    def _chain_dicts(
+        self, cid: Optional[int], limit: int = 32
+    ) -> List[Dict[str, Any]]:
+        """JSON-safe causal ancestry of ``cid``, oldest first."""
+        if cid is None:
+            return []
+        by_cid = {e.cid: e for e in self.causal}
+        out: List[Dict[str, Any]] = []
+        while cid is not None and len(out) < limit:
+            event = by_cid.get(cid)
+            if event is None:
+                break
+            out.append(event.to_dict())
+            cid = event.parent
+        out.reverse()
+        return out
+
+    def _node_last_cause(self, node: int) -> Optional[int]:
+        """The most recent causal event recorded at ``node``."""
+        best = None
+        for (owner, _root), cid in self._cursor.items():
+            if owner == node and (best is None or cid > best):
+                best = cid
+        return best
 
     # -- generic span/event API ---------------------------------------------
 
@@ -207,6 +296,10 @@ class Observer:
             EventRecord(name=name, time=self.now, query=query, node=node,
                         attrs=attrs)
         )
+        if self.stream is not None:
+            self.stream.advance(self.now)
+        if self.flight is not None and node is not None:
+            self.flight.note(node, name, self.now, query, **attrs)
 
     # -- query lifecycle hooks ------------------------------------------------
 
@@ -217,7 +310,13 @@ class Observer:
         sid = self.begin("query", cat="protocol", query=query, node=node,
                          **attrs)
         self._query_roots[query] = sid
+        cid = self._causal_add("issue", None, sid, node)
+        self._cursor[(node, sid)] = cid
         self.metrics.counter("protocol.queries.issued").inc()
+        if self.stream is not None:
+            self.stream.advance(self.now)
+        if self.flight is not None:
+            self.flight.note(node, "query.issued", self.now, query)
         return sid
 
     def query_alias(self, new_key: QueryKey, root_key: QueryKey) -> None:
@@ -237,6 +336,9 @@ class Observer:
             if span is not None:
                 span.attrs["completion_time"] = self.now
                 span.attrs.update(attrs)
+            # The delivery the originator just processed is the causal
+            # event that fired completion: the critical path's endpoint.
+            self._completion_cause[sid] = self._cursor.get((node, sid))
         self.event("query.completed", query=query, node=node, **attrs)
         self.metrics.counter("protocol.queries.completed").inc()
 
@@ -245,6 +347,12 @@ class Observer:
         sid = self._query_roots.get(query)
         if sid is not None:
             self.end(sid, **attrs)
+        if self.stream is not None:
+            coverage = attrs.get("coverage")
+            if coverage is not None:
+                self.stream.observe(
+                    "protocol.coverage", float(coverage), self.now
+                )
 
     def local_eval(
         self,
@@ -294,6 +402,12 @@ class Observer:
             m.counter(f"core.local.skips.{result.skipped}").inc()
         m.histogram("core.local.wall_s").observe(wall_s)
         m.histogram("core.local.delay_s").observe(delay)
+        if self.stream is not None:
+            self.stream.observe("core.local.wall_s", wall_s, now)
+        if self.flight is not None:
+            self.flight.note(node, "local-eval", now, query,
+                             scanned=result.scanned,
+                             reduced=result.reduced_size)
 
     def filter_promoted(
         self, query: Optional[QueryKey], node: int, vdr: float
@@ -337,6 +451,16 @@ class Observer:
         its strategy's completion condition."""
         self.event("query.deadline-close", query=query, node=node)
         self.metrics.counter("resilience.deadline_closes").inc()
+        if self.flight is not None:
+            root = self._query_roots.get(query)
+            cause = (
+                self._cursor.get((node, root)) if root is not None else None
+            )
+            self.flight.dump(
+                "deadline-expiry", self.now, node=node, query=query,
+                detail="query closed on deadline budget before completion",
+                causal=self._chain_dicts(cause),
+            )
 
     # -- continuous-subscription hooks ----------------------------------------
 
@@ -348,6 +472,8 @@ class Observer:
         sid = self.begin("subscription", cat="continuous", query=sub_key,
                          node=node, **attrs)
         self._query_roots[sub_key] = sid
+        cid = self._causal_add("issue", None, sid, node)
+        self._cursor[(node, sid)] = cid
         self.metrics.counter("continuous.subscriptions.installed").inc()
         return sid
 
@@ -398,12 +524,37 @@ class Observer:
     # -- frame-level hooks (called by World) ----------------------------------
 
     def frame_sent(self, frame: Frame) -> None:
-        """A frame hit the air; unicast frames open a hop span."""
+        """A frame hit the air; unicast frames open a hop span.
+
+        Query-attributed frames also get a causal ``send`` event whose
+        parent is the last thing that happened to this query at the
+        transmitter (the delivery that provoked the send, or the issue
+        event at the originator), falling back to the causal context
+        stamped on the payload at message-construction time (which is
+        what ties a delayed retransmission back to its original cause).
+        The frame then carries ``TraceContext(root, send_cid)`` so its
+        deliveries and drops attach under the send."""
         key = query_key_of(frame.payload)
         m = self.metrics
         m.counter("net.tx.frames").inc()
         m.counter(f"net.tx.{frame.kind}").inc()
         m.counter("net.tx.bytes").inc(frame.size_bytes)
+        if self.stream is not None:
+            self.stream.advance(self.now)
+        cid = None
+        root = self._query_roots.get(key) if key is not None else None
+        if root is not None:
+            parent = self._cursor.get((frame.src, root))
+            if parent is None:
+                mtrace = trace_of(frame.payload)
+                if mtrace is not None:
+                    parent = mtrace.parent
+            cid = self._causal_add("send", parent, root, frame.src,
+                                   frame=frame)
+            frame.trace = TraceContext(root=root, parent=cid)
+        if self.flight is not None:
+            self.flight.note(frame.src, f"tx.{frame.kind}", self.now, key,
+                             dst=frame.dst, bytes=frame.size_bytes)
         if frame.dst is None:
             # Broadcasts fan out to many receivers; model the send as an
             # instant event, deliveries as events referencing frame_id.
@@ -411,19 +562,38 @@ class Observer:
                        frame=frame.kind, frame_id=frame.frame_id,
                        bytes=frame.size_bytes)
             return
-        sid = self.begin(
-            "hop", cat="net", query=key, node=frame.src,
+        attrs = dict(
             frame=frame.kind, frame_id=frame.frame_id, src=frame.src,
             dst=frame.dst, bytes=frame.size_bytes,
         )
+        if cid is not None:
+            attrs["cid"] = cid
+        sid = self.begin("hop", cat="net", query=key, node=frame.src,
+                         **attrs)
         self._hop_spans[frame.frame_id] = sid
 
     def frame_delivered(self, frame: Frame, node: int) -> None:
-        """A frame arrived at ``node``; closes the hop span (unicast)."""
+        """A frame arrived at ``node``; closes the hop span (unicast).
+
+        The delivery becomes the node's current causal cursor for the
+        frame's query, so whatever the node sends next for that query
+        inherits this delivery as its parent."""
         self.metrics.counter("net.rx.frames").inc()
+        trace = frame.trace
+        cid = None
+        if trace is not None:
+            cid = self._causal_add("deliver", trace.parent, trace.root,
+                                   node, frame=frame)
+            self._cursor[(node, trace.root)] = cid
+        if self.flight is not None:
+            self.flight.note(node, f"rx.{frame.kind}", self.now,
+                             query_key_of(frame.payload), src=frame.src)
         sid = self._hop_spans.pop(frame.frame_id, None)
         if sid is not None:
-            self.end(sid, outcome="delivered")
+            if cid is not None:
+                self.end(sid, outcome="delivered", cid=cid)
+            else:
+                self.end(sid, outcome="delivered")
         else:
             self.event("frame.heard", query=query_key_of(frame.payload),
                        node=node, frame=frame.kind, frame_id=frame.frame_id)
@@ -431,6 +601,10 @@ class Observer:
     def frame_duplicated(self, frame: Frame) -> None:
         """The duplication fault delivered a second copy of ``frame``."""
         self.metrics.counter("net.dup.frames").inc()
+        trace = frame.trace
+        if trace is not None:
+            self._causal_add("dup", trace.parent, trace.root, frame.src,
+                             frame=frame)
         self.event("frame.duplicated", query=query_key_of(frame.payload),
                    node=frame.src, frame=frame.kind, frame_id=frame.frame_id)
 
@@ -438,6 +612,14 @@ class Observer:
         """A frame was lost (``reason``: no-link / loss / moved / fault)."""
         self.metrics.counter("net.drops").inc()
         self.metrics.counter(f"net.drops.{reason}").inc()
+        trace = frame.trace
+        if trace is not None:
+            self._causal_add("drop", trace.parent, trace.root, frame.dst,
+                             frame=frame, note=reason)
+        if self.flight is not None:
+            self.flight.note(frame.src, f"drop.{frame.kind}", self.now,
+                             query_key_of(frame.payload), reason=reason,
+                             dst=frame.dst)
         sid = self._hop_spans.pop(frame.frame_id, None)
         if sid is not None:
             self.end(sid, outcome="dropped", reason=reason)
@@ -463,6 +645,23 @@ class Observer:
         self.events.append(record)
         self.faults.append(record)
         self.metrics.counter(f"faults.{kind}").inc()
+        if self.stream is not None:
+            self.stream.advance(self.now)
+        if self.flight is not None:
+            if node is not None:
+                self.flight.note(node, f"fault.{kind}", self.now, **attrs)
+            elif link is not None:
+                for endpoint in link:
+                    self.flight.note(endpoint, f"fault.{kind}", self.now,
+                                     link=link, **attrs)
+            if kind == "node-crash" and node is not None:
+                cause = self._node_last_cause(node)
+                self.flight.dump(
+                    "node-crash", self.now, node=node,
+                    detail=f"device {node} crashed"
+                    + (f" ({attrs})" if attrs else ""),
+                    causal=self._chain_dicts(cause),
+                )
 
     def query_aborted_by_crash(self, query: QueryKey, node: int) -> None:
         """The originator crashed with this query still in flight."""
@@ -488,6 +687,8 @@ class Observer:
         """
         for sid in list(self._open):
             self.end(sid, outcome="unfinished")
+        if self.stream is not None:
+            self.stream.finalize(self.now)
         if result is None:
             return
         g = self.metrics.gauge
@@ -550,10 +751,22 @@ class NullObserver:
     spans: List[SpanRecord] = []
     events: List[EventRecord] = []
     faults: List[EventRecord] = []
+    causal: List["CausalEvent"] = []
+    flight = None
+    stream = None
 
     def bind(self, world) -> "NullObserver":
         world.obs = self
         return self
+
+    def attach_flight(self, recorder) -> "NullObserver":
+        return self
+
+    def attach_stream(self, analyzer) -> "NullObserver":
+        return self
+
+    def trace_context(self, *args, **kwargs) -> None:
+        return None
 
     def begin(self, *args, **kwargs) -> int:
         return -1

@@ -153,6 +153,15 @@ class MetricsRegistry:
             for name in sorted(self._instruments)
         }
 
+    def counter_values(self) -> Dict[str, int]:
+        """``{name: value}`` for the counters only — the cheap snapshot
+        the streaming analyzer diffs at every window close."""
+        return {
+            name: instrument.value
+            for name, instrument in self._instruments.items()
+            if type(instrument) is Counter
+        }
+
     def render(self) -> str:
         """Text table of every instrument (debugging / CLI output)."""
         lines = []
@@ -221,6 +230,9 @@ class NullRegistry:
         return _NULL_INSTRUMENT
 
     def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def counter_values(self) -> Dict[str, int]:
         return {}
 
     def render(self) -> str:

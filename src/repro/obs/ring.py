@@ -1,0 +1,57 @@
+"""Validated ring-buffer capacity resolution (``REPRO_OBS_RING``).
+
+Two observability rings are bounded by the same knob: the net-layer
+:class:`~repro.net.trace.Tracer` event ring and the per-node
+:class:`~repro.obs.flight.FlightRecorder` rings. Capacity resolution
+order is explicit config (``ProtocolConfig.obs_ring`` / constructor
+argument), then the ``REPRO_OBS_RING`` environment variable, then the
+caller's default. An unparsable environment value is a loud
+:class:`ValueError` — a silently ignored bound is how flight recorders
+quietly stop recording.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["RING_ENV", "parse_ring_capacity", "resolve_ring_capacity"]
+
+RING_ENV = "REPRO_OBS_RING"
+
+#: Values meaning "no bound" (the Tracer's historical default).
+_UNBOUNDED = ("unbounded", "none", "off", "")
+
+
+def parse_ring_capacity(raw: str) -> Optional[int]:
+    """Parse one capacity string: a positive integer, or one of
+    ``unbounded`` / ``none`` / ``off`` / empty for no bound.
+
+    Raises:
+        ValueError: On anything else (including 0 and negatives).
+    """
+    text = raw.strip().lower()
+    if text in _UNBOUNDED:
+        return None
+    try:
+        capacity = int(text)
+    except ValueError:
+        raise ValueError(
+            f"{RING_ENV}: expected a positive integer or 'unbounded', "
+            f"got {raw!r}"
+        ) from None
+    if capacity < 1:
+        raise ValueError(
+            f"{RING_ENV}: capacity must be >= 1 (or 'unbounded'), "
+            f"got {capacity}"
+        )
+    return capacity
+
+
+def resolve_ring_capacity(default: Optional[int] = None) -> Optional[int]:
+    """The effective ring capacity: ``REPRO_OBS_RING`` if set (validated
+    by :func:`parse_ring_capacity`), else ``default``."""
+    raw = os.environ.get(RING_ENV)
+    if raw is None:
+        return default
+    return parse_ring_capacity(raw)

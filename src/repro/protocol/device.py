@@ -48,6 +48,7 @@ from ..net.engine import EventHandle
 from ..net.messages import Frame, FrameKind
 from ..net.node import Node
 from ..net.world import World
+from ..obs.ring import resolve_ring_capacity
 from ..resilience import (
     CompletionReport,
     ResiliencePolicy,
@@ -150,6 +151,12 @@ class ProtocolConfig:
             the SFS scan. Results, counters, and stats stay
             bit-identical (hits replay the ``AccessStats`` delta).
         local_cache_size: LRU entry bound for that cache.
+        obs_ring: Capacity of the per-node observability rings (the
+            net-layer Tracer's event ring and the flight recorder's
+            per-node rings). ``None`` (default) resolves via
+            :func:`~repro.obs.ring.resolve_ring_capacity`
+            (``REPRO_OBS_RING``, then each ring's own default).
+            Validated at construction: an explicit value must be >= 1.
     """
 
     use_filter: bool = True
@@ -174,6 +181,7 @@ class ProtocolConfig:
     merge_block: Optional[int] = None
     local_cache: bool = True
     local_cache_size: int = 64
+    obs_ring: Optional[int] = None
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
@@ -187,6 +195,8 @@ class ProtocolConfig:
             raise ValueError("merge_block must be >= 1")
         if self.local_cache_size < 1:
             raise ValueError("local_cache_size must be >= 1")
+        if self.obs_ring is not None and self.obs_ring < 1:
+            raise ValueError("obs_ring must be >= 1")
         if self.query_timeout <= 0:
             raise ValueError("query_timeout must be > 0")
         if not 0 < self.completion_quorum <= 1:
@@ -226,6 +236,14 @@ class ProtocolConfig:
         """The resolved merge block (explicit field →
         ``REPRO_MERGE_BLOCK`` → 512)."""
         return resolve_merge_block(self.merge_block)
+
+    @property
+    def effective_obs_ring(self) -> Optional[int]:
+        """The resolved observability ring capacity (explicit field →
+        ``REPRO_OBS_RING`` → None, i.e. each ring's own default)."""
+        if self.obs_ring is not None:
+            return self.obs_ring
+        return resolve_ring_capacity(default=None)
 
 
 @dataclass
@@ -369,6 +387,17 @@ class SkylineDevice(Node):
         #: keyed by query key (one reply per query per device). Shared
         #: between the BF strategy and DF→BF failover floods.
         self._pending_results: Dict[Tuple[int, int], _PendingResult] = {}
+
+    # -- observability ------------------------------------------------------
+
+    def _trace(self, key: Tuple[int, int]):
+        """The causal trace context an outgoing message for ``key``
+        should carry — None whenever observation is off, so unobserved
+        payloads stay byte-for-byte what they always were."""
+        obs = self.world.obs
+        if not obs.enabled:
+            return None
+        return obs.trace_context(key, self.node_id)
 
     # -- fault hooks --------------------------------------------------------
 
@@ -632,7 +661,11 @@ class SkylineDevice(Node):
         self._cancel_query_timers(key, record)
         obs = self.world.obs
         if obs.enabled:
-            obs.query_closed(key)
+            coverage = record.coverage()
+            if coverage is not None:
+                obs.query_closed(key, coverage=coverage)
+            else:
+                obs.query_closed(key)
             if record.completion_time is None and not record.aborted_by_crash:
                 obs.deadline_close(key, self.node_id)
         if self.config.resilience.completion_report:
@@ -717,6 +750,7 @@ class SkylineDevice(Node):
                 QueryMessage(
                     query=message.query, flt=message.flt,
                     hops=message.hops + 1, exclude=message.exclude,
+                    trace=self._trace(message.query.key),
                 )
             )
             return
@@ -744,6 +778,7 @@ class SkylineDevice(Node):
             unreduced_size=result.unreduced_size,
             skipped=result.skipped,
             processing_time=proc_time,
+            trace=self._trace(message.query.key),
         )
         self._send_result(reply, message.query.origin)
         if self.config.result_ack and self.config.result_retries > 0:
@@ -763,7 +798,7 @@ class SkylineDevice(Node):
                 )
         forwarded = QueryMessage(
             query=message.query, flt=out_flt, hops=message.hops + 1,
-            exclude=message.exclude,
+            exclude=message.exclude, trace=self._trace(message.query.key),
         )
         self._broadcast_query(forwarded)
 
@@ -831,7 +866,8 @@ class SkylineDevice(Node):
         # ACK every copy, even duplicates and post-closure stragglers:
         # an unacknowledged responder keeps retransmitting.
         if self.config.result_ack:
-            ack = ResultAckMessage(query_key=reply.query_key)
+            ack = ResultAckMessage(query_key=reply.query_key,
+                                   trace=self._trace(reply.query_key))
             self.router.send_data(
                 dest=reply.sender,
                 kind=FrameKind.ACK,
@@ -881,7 +917,8 @@ class BFDevice(SkylineDevice):
     def issue_query(self, d: float) -> QueryRecord:
         record, local, flt = self._open_record(d)
         delay = self.processing_delay(local)
-        message = QueryMessage(query=record.query, flt=flt, hops=1)
+        message = QueryMessage(query=record.query, flt=flt, hops=1,
+                               trace=self._trace(record.query.key))
         self._schedule_guarded(delay, self._broadcast_query, message)
         return record
 
@@ -954,6 +991,7 @@ class DFDevice(SkylineDevice):
             visited=frozenset({self.node_id}),
             path=(),
             contributions=(),
+            trace=self._trace(record.query.key),
         )
         delay = self.processing_delay(local)
         self._schedule_guarded(delay, self._pass_token, token)
@@ -1038,6 +1076,7 @@ class DFDevice(SkylineDevice):
             visited=frozenset({self.node_id}),
             path=(),
             contributions=(),
+            trace=self._trace(query.key),
         )
         self._last_token_activity = self.sim.now
         self._pass_token(token)
@@ -1081,7 +1120,8 @@ class DFDevice(SkylineDevice):
                 excluded=len(exclude),
             )
         self._broadcast_query(
-            QueryMessage(query=query, flt=flt, hops=1, exclude=exclude)
+            QueryMessage(query=query, flt=flt, hops=1, exclude=exclude,
+                         trace=self._trace(query.key))
         )
 
     def _merge_failover_result(self, reply: ResultMessage) -> None:
@@ -1187,6 +1227,7 @@ class DFDevice(SkylineDevice):
                 path=token.path,
                 contributions=token.contributions
                 + ((self.node_id, result.unreduced_size, result.reduced_size),),
+                trace=self._trace(token.query.key),
             )
             delay = self.processing_delay(result)
             self._schedule_guarded(delay, self._pass_token, token)
@@ -1198,6 +1239,7 @@ class DFDevice(SkylineDevice):
                 visited=token.visited | {self.node_id},
                 path=token.path,
                 contributions=token.contributions,
+                trace=self._trace(token.query.key),
             )
             self._pass_token(token)
 
@@ -1223,6 +1265,7 @@ class DFDevice(SkylineDevice):
                 visited=token.visited,
                 path=token.path + (self.node_id,),
                 contributions=token.contributions,
+                trace=self._trace(token.query.key),
             )
             frame = Frame(
                 kind=FrameKind.TOKEN,
@@ -1284,6 +1327,7 @@ class DFDevice(SkylineDevice):
             visited=token.visited,
             path=token.path[:-1],
             contributions=token.contributions,
+            trace=self._trace(token.query.key),
         )
 
         def undeliverable(
@@ -1340,6 +1384,7 @@ class DFDevice(SkylineDevice):
             visited=token.visited | {self.node_id},
             path=(),
             contributions=token.contributions,
+            trace=self._trace(token.query.key),
         )
         unvisited = [
             n

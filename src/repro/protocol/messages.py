@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Any, FrozenSet, Optional, Tuple
 
 from ..core.filtering import FilteringTuple
 from ..core.query import SkylineQuery
@@ -18,6 +18,14 @@ from ..net.messages import QUERY_BYTES, tuple_bytes
 from ..storage.relation import Relation
 
 __all__ = ["QueryMessage", "ResultAckMessage", "ResultMessage", "TokenMessage"]
+
+# Every payload below carries an optional ``trace`` — the causal context
+# (``repro.obs.causal.TraceContext``) linking this message to the
+# delivery that provoked it. It follows the ``serial`` idiom:
+# ``compare=False`` (equality, dedup, and hashing are untouched),
+# excluded from ``size_bytes`` (it stands for the trace ids real
+# transport headers already carry), and ``None`` whenever observation
+# is off, so instrumented runs stay bit-identical to plain ones.
 
 
 @dataclass(frozen=True)
@@ -39,6 +47,7 @@ class QueryMessage:
     flt: Optional[FilteringTuple] = None
     hops: int = 1
     exclude: FrozenSet[int] = frozenset()
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self, dimensions: int) -> int:
         """Query spec plus one tuple when a filter rides along, plus an
@@ -66,6 +75,7 @@ class ResultMessage:
     unreduced_size: int
     skipped: Optional[str] = None
     processing_time: float = 0.0
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self, dimensions: int) -> int:
         """Tuples on the wire plus a small status header."""
@@ -83,6 +93,7 @@ class ResultAckMessage:
     """
 
     query_key: Tuple[int, int]
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self) -> int:
         """Just the query key and a kind tag."""
@@ -116,6 +127,7 @@ class TokenMessage:
     token must not spawn a second walk). Not part of the modelled wire
     size — it stands for the MAC-layer sequence number real radios
     already carry."""
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def size_bytes(self, dimensions: int) -> int:
         """Query spec + filter + carried tuples + visited-set bitmap."""

@@ -246,4 +246,15 @@ def verify_run(
     violations += check_retransmission_bounds(result.records, config, observer)
     if sim is not None:
         violations += check_no_live_timers(sim)
+    flight = getattr(observer, "flight", None)
+    if violations and flight is not None:
+        # Post-mortem: freeze the run's rings for each violation so the
+        # blackbox explains what the network was doing when the property
+        # broke. Runs after the simulation has drained — pure read.
+        for violation in violations:
+            flight.dump(
+                "invariant-violation",
+                result.sim_time,
+                detail=violation,
+            )
     return violations

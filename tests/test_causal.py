@@ -1,0 +1,221 @@
+"""Causal message tracing: TraceContext plumbing, DAG reconstruction,
+hop-depth histograms, and critical paths on real BF/DF runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.query import SkylineQuery
+from repro.data import QueryRequest, make_global_dataset
+from repro.net import StaticPlacement
+from repro.net.aodv import DataPacket
+from repro.obs import Observer, TraceContext, build_causal_graph, trace_of
+from repro.protocol import ProtocolConfig, SimulationConfig, run_manet_simulation
+from repro.protocol.messages import QueryMessage, ResultMessage
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(900, 2, 9, "independent", seed=41,
+                               value_step=1.0)
+
+
+GRID_POSITIONS = [(150.0 * (i % 3), 150.0 * (i // 3)) for i in range(9)]
+
+WORKLOAD = [
+    QueryRequest(time=1.0, device=0, distance=2000.0),
+    QueryRequest(time=120.0, device=4, distance=2000.0),
+]
+
+
+def observed_run(dataset, strategy):
+    observer = Observer()
+    config = SimulationConfig(
+        strategy=strategy, sim_time=400.0, seed=17,
+        protocol=ProtocolConfig(),
+    )
+    result = run_manet_simulation(
+        dataset, WORKLOAD, config,
+        mobility=StaticPlacement(GRID_POSITIONS), observer=observer,
+    )
+    return observer, result
+
+
+@pytest.fixture(scope="module")
+def bf_run(dataset):
+    return observed_run(dataset, "bf")
+
+
+@pytest.fixture(scope="module")
+def df_run(dataset):
+    return observed_run(dataset, "df")
+
+
+# ---------------------------------------------------------------------------
+# TraceContext and message plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_frozen(self):
+        ctx = TraceContext(root=3, parent=7)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.parent = 9
+
+    def test_trace_of_reads_message_directly(self):
+        ctx = TraceContext(root=1)
+        message = QueryMessage(
+            query=SkylineQuery(origin=0, cnt=0, pos=(0.0, 0.0), d=100.0),
+            trace=ctx,
+        )
+        assert trace_of(message) is ctx
+
+    def test_trace_of_unwraps_data_packet(self):
+        ctx = TraceContext(root=1, parent=2)
+        message = QueryMessage(
+            query=SkylineQuery(origin=0, cnt=0, pos=(0.0, 0.0), d=100.0),
+            trace=ctx,
+        )
+        packet = DataPacket(source=0, dest=5, kind="query",
+                            payload=message, size_bytes=24)
+        assert trace_of(packet) is ctx
+
+    def test_trace_of_none_for_untraced(self):
+        message = QueryMessage(
+            query=SkylineQuery(origin=0, cnt=0, pos=(0.0, 0.0), d=100.0),
+        )
+        assert trace_of(message) is None
+        assert trace_of((1, 2)) is None
+
+    def test_trace_excluded_from_equality_and_size(self):
+        """The context is observability metadata: two messages differing
+        only in trace compare equal and model the same wire size."""
+        query = SkylineQuery(origin=0, cnt=0, pos=(0.0, 0.0), d=100.0)
+        plain = QueryMessage(query=query)
+        traced = QueryMessage(query=query, trace=TraceContext(root=1))
+        assert plain == traced
+        assert plain.size_bytes(2) == traced.size_bytes(2)
+        assert "trace" not in repr(traced)
+
+
+# ---------------------------------------------------------------------------
+# DAG reconstruction on real runs
+# ---------------------------------------------------------------------------
+
+
+class TestBroadcastFlood:
+    def test_every_query_has_a_trace(self, bf_run):
+        observer, result = bf_run
+        graph = build_causal_graph(observer)
+        for record in result.records:
+            assert record.key in graph
+
+    def test_single_issue_root(self, bf_run):
+        observer, _ = bf_run
+        graph = build_causal_graph(observer)
+        for trace in graph.queries.values():
+            roots = trace.roots()
+            assert len(roots) == 1
+            assert roots[0].kind == "issue"
+
+    def test_parents_resolve_within_trace(self, bf_run):
+        observer, _ = bf_run
+        graph = build_causal_graph(observer)
+        for trace in graph.queries.values():
+            for event in trace.events:
+                if event.parent is not None:
+                    parent = trace.get(event.parent)
+                    assert parent is not None
+                    assert parent.time <= event.time
+
+    def test_deliveries_descend_from_sends(self, bf_run):
+        observer, _ = bf_run
+        graph = build_causal_graph(observer)
+        for trace in graph.queries.values():
+            for event in trace.events:
+                if event.kind == "deliver":
+                    assert trace.get(event.parent).kind == "send"
+
+    def test_flood_fans_out_across_depths(self, bf_run):
+        """A 3x3 grid flood reaches neighbours at depth 1 and the rest
+        over multiple causal hops."""
+        observer, _ = bf_run
+        graph = build_causal_graph(observer)
+        histograms = [t.hop_depth_histogram() for t in graph.queries.values()]
+        assert any(h.get(1, 0) >= 2 and len(h) >= 2 for h in histograms)
+
+    def test_critical_path_ends_at_originator(self, bf_run):
+        observer, result = bf_run
+        graph = build_causal_graph(observer)
+        completed = [r for r in result.records if r.completion_time is not None]
+        assert completed
+        for record in completed:
+            path = graph[record.key].critical_path()
+            assert path
+            assert path[0].kind == "issue"
+            assert path[0].node == record.key[0]
+            assert path[-1].node == record.key[0]
+            times = [e.time for e in path]
+            assert times == sorted(times)
+
+
+class TestDepthFirstChain:
+    def test_token_walk_is_linear(self, df_run):
+        """DF visits devices serially: no causal depth hosts a wide
+        fan-out the way a flood wave does."""
+        observer, result = df_run
+        graph = build_causal_graph(observer)
+        completed = [r for r in result.records if r.completion_time is not None]
+        assert completed
+        histogram = graph[completed[0].key].hop_depth_histogram()
+        assert max(histogram) > 9  # deeper than the device count
+        assert max(histogram.values()) <= 3
+
+    def test_critical_path_spans_the_token_tour(self, df_run):
+        observer, result = df_run
+        graph = build_causal_graph(observer)
+        completed = [r for r in result.records if r.completion_time is not None]
+        path = graph[completed[0].key].critical_path()
+        assert len(path) > 9
+        assert {e.node for e in path} == set(range(9))
+
+
+class TestRenderAndDict:
+    def test_to_dict_is_json_safe(self, bf_run):
+        import json
+
+        observer, _ = bf_run
+        graph = build_causal_graph(observer)
+        doc = graph.to_dict()
+        json.dumps(doc)
+        for body in doc.values():
+            assert body["events"] >= body["deliveries"]
+
+    def test_render_shows_tree(self, bf_run):
+        observer, result = bf_run
+        graph = build_causal_graph(observer)
+        text = graph[result.records[0].key].render()
+        assert "issue" in text.splitlines()[0]
+        assert any(line.startswith("  ") for line in text.splitlines())
+
+
+class TestUnobservedRuns:
+    def test_plain_run_carries_no_traces(self, dataset):
+        """Without an observer no message is stamped — the field stays
+        None end to end (the bit-identity guarantee's mechanism)."""
+        config = SimulationConfig(
+            strategy="bf", sim_time=400.0, seed=17,
+            protocol=ProtocolConfig(),
+        )
+        result = run_manet_simulation(
+            dataset, WORKLOAD, config,
+            mobility=StaticPlacement(GRID_POSITIONS),
+        )
+        assert result.records
+        observer = Observer()
+        assert observer.causal == []
+        graph = build_causal_graph(observer)
+        assert len(graph) == 0

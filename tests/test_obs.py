@@ -8,6 +8,7 @@ import json
 
 import pytest
 
+from repro.continuous import ContinuousConfig, run_continuous_simulation
 from repro.core.query import SkylineQuery
 from repro.data import QueryRequest, make_global_dataset
 from repro.experiments.config import ExperimentScale
@@ -603,6 +604,14 @@ class TestExporters:
         names = {e["name"] for e in doc["traceEvents"]}
         assert {"query", "local-eval", "thread_name"} <= names
 
+    def test_empty_trace_is_valid(self):
+        """A run that observed no spans exports an empty-but-valid
+        document (Perfetto loads it fine); flagging span-less runs is
+        the CLI's job, not the validator's."""
+        doc = export_chrome_trace(Observer())
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
     def test_validator_rejects_malformed_docs(self):
         assert validate_chrome_trace([]) != []
         assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]}) != []
@@ -693,3 +702,192 @@ class TestIntegration:
         assert args.figure == "trace"
         assert args.obs == "off"
         assert args.strategy == "bf"
+
+    def test_trace_command_flags_spanless_runs(self, monkeypatch, capsys):
+        """A trace run that observed zero spans still writes its (valid,
+        empty) bundle but exits 3 with a loud warning — CI's tripwire
+        for misconfigured telemetry."""
+        import repro.cli as cli
+        import repro.experiments.tracing as tracing
+
+        monkeypatch.setattr(
+            tracing, "trace_point",
+            lambda strategy, scale, directory=None: (
+                Observer(), PhaseProfiler(), None
+            ),
+        )
+        args = cli.build_parser().parse_args(
+            ["trace", "--scale", "smoke", "--obs", "off", "--strategy", "bf"]
+        )
+        assert cli._run_trace(args, TINY) == 3
+        assert "no spans observed" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Continuous-path observability: instrumentation vs. protocol books
+# ---------------------------------------------------------------------------
+
+
+def continuous_run(faults=None):
+    observer = Observer()
+    config = ContinuousConfig(
+        devices=9, cardinality=270, epochs=3, d=600.0, seed=7,
+        data_updates=6, static_grid=True, loss_rate=0.0, faults=faults,
+    )
+    result = run_continuous_simulation(config, observer=observer)
+    return observer, result
+
+
+class TestContinuousObservability:
+    """SUBSCRIBE / DELTA / heal-flood spans, events, and counters must
+    reconcile with the per-epoch :class:`CompletionReport` books the
+    protocol keeps on its own — two independent accounts of one run.
+    """
+
+    @pytest.fixture(scope="class")
+    def healthy(self):
+        return continuous_run()
+
+    @pytest.fixture(scope="class")
+    def crashed(self):
+        """Contributor 7 crashes mid-subscription and recovers: two
+        epochs with a coverage hole, then heal-flood re-enrollment."""
+        return continuous_run(
+            FaultSchedule().crash(25.0, node=7, downtime=30.0)
+        )
+
+    def _events(self, observer, name):
+        return [e for e in observer.events if e.name == name]
+
+    def test_subscription_span_covers_the_lifetime(self, healthy):
+        observer, result = healthy
+        record = result.record
+        spans = [s for s in observer.spans if s.name == "subscription"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.query == record.spec.key
+        assert span.t0 == record.spec.install_time
+        assert span.t1 == record.epochs[-1].closed_at
+        assert span.attrs["reason"] == record.status == "expired"
+        counters = observer.metrics
+        assert counters.counter(
+            "continuous.subscriptions.installed").value == 1
+        assert counters.counter("continuous.end.expired").value == 1
+        ends = self._events(observer, "subscription.end")
+        assert [(e.query, e.attrs["reason"]) for e in ends] == [
+            (record.spec.key, "expired")
+        ]
+
+    def test_refresh_events_reconcile_with_epochs(self, healthy):
+        observer, result = healthy
+        record = result.record
+        refreshes = self._events(observer, "subscription.refresh")
+        assert [e.attrs["epoch"] for e in refreshes] == [
+            epoch.epoch for epoch in record.epochs
+        ]
+        for event, epoch in zip(refreshes, record.epochs):
+            assert event.attrs["reporters"] == len(epoch.reporters)
+            assert event.attrs["messages"] == epoch.messages
+        assert observer.metrics.counter(
+            "continuous.epochs.closed").value == len(record.epochs)
+
+    def test_merged_deltas_are_the_epoch_reporters(self, healthy):
+        """Every fresh DELTA merge lands in exactly one epoch's
+        ``reporters`` set — the event stream and the books agree both
+        in total and per epoch (fault-free, so sender epochs align
+        with close windows)."""
+        observer, result = healthy
+        record = result.record
+        merged = self._events(observer, "delta.merged")
+        assert observer.metrics.counter(
+            "continuous.deltas.merged").value == len(merged)
+        assert len(merged) == sum(
+            len(epoch.reporters) for epoch in record.epochs
+        )
+        by_epoch = {}
+        for event in merged:
+            by_epoch.setdefault(event.attrs["epoch"], set()).add(
+                event.attrs["sender"]
+            )
+        assert by_epoch == {
+            epoch.epoch: set(epoch.reporters)
+            for epoch in record.epochs if epoch.reporters
+        }
+
+    def test_every_sent_delta_merges_fault_free(self, healthy):
+        observer, _ = healthy
+        sent = self._events(observer, "delta.sent")
+        merged = self._events(observer, "delta.merged")
+        assert observer.metrics.counter(
+            "continuous.deltas.sent").value == len(sent)
+        assert sorted((e.node, e.attrs["epoch"]) for e in sent) == sorted(
+            (e.attrs["sender"], e.attrs["epoch"]) for e in merged
+        )
+
+    def test_reporters_feed_the_completion_books(self, healthy):
+        observer, result = healthy
+        record = result.record
+        originator = record.spec.key[0]
+        for epoch in record.epochs:
+            assert epoch.report is not None
+            assert originator not in epoch.reporters
+            assert set(epoch.reporters) <= set(epoch.report.contributed)
+            assert epoch.report.outcome == "completed"
+        assert observer.metrics.counter(
+            "continuous.heal_floods").value == 0
+        assert self._events(observer, "subscription.heal-flood") == []
+
+    def test_data_update_events_match_schedule(self, healthy):
+        observer, result = healthy
+        updates = self._events(observer, "data.updated")
+        assert len(updates) == len(result.update_events)
+        assert observer.metrics.counter(
+            "continuous.data_updates").value == len(updates)
+
+    def test_heal_floods_fire_on_the_coverage_holes(self, crashed):
+        """Heal-flood events name exactly the epochs whose completion
+        report lost a device to the crash, and count the hole."""
+        observer, result = crashed
+        record = result.record
+        heals = self._events(observer, "subscription.heal-flood")
+        assert observer.metrics.counter(
+            "continuous.heal_floods").value == len(heals) >= 1
+        holes = {
+            epoch.epoch: epoch.report.lost_to_fault
+            for epoch in record.epochs
+            if epoch.report is not None and epoch.report.lost_to_fault
+        }
+        assert {e.attrs["epoch"] for e in heals} == set(holes)
+        originator = record.spec.key[0]
+        for event in heals:
+            assert event.node == originator
+            assert event.query == record.spec.key
+            assert event.attrs["missing"] == len(holes[event.attrs["epoch"]])
+
+    def test_recovered_node_reenrolls_in_the_books(self, crashed):
+        observer, result = crashed
+        record = result.record
+        crashed_node = 7
+        holes = [
+            epoch for epoch in record.epochs
+            if epoch.report is not None
+            and crashed_node in epoch.report.lost_to_fault
+        ]
+        assert holes
+        for epoch in holes:
+            assert crashed_node not in epoch.report.contributed
+            assert epoch.report.outcome == "deadline-expired"
+        healed = [
+            epoch for epoch in record.epochs
+            if epoch.epoch > holes[-1].epoch
+            and crashed_node in epoch.reporters
+        ]
+        assert healed
+        assert crashed_node in healed[-1].report.contributed
+        merged = self._events(observer, "delta.merged")
+        assert any(e.attrs["sender"] == crashed_node for e in merged)
+        # Total reconciliation survives the fault: every fresh merge
+        # still lands in exactly one epoch's reporters set.
+        assert len(merged) == sum(
+            len(epoch.reporters) for epoch in record.epochs
+        )

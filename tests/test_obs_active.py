@@ -1,0 +1,193 @@
+"""Differential suite: a *fully active* observer — causal tracing,
+flight recorder, stream analyzer all attached — leaves every run
+bit-identical to a plain one, across BF, DF, and continuous
+subscriptions, under every fault family.
+
+This is the deep-observability extension of ``test_obs.py``'s
+passivity gate: the flight recorder and stream analyzer are observers
+of the observer, so they inherit the same contract — no scheduled
+events, no randomness consumed, no protocol state touched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.continuous import ContinuousConfig, run_continuous_simulation
+from repro.data import QueryRequest, make_global_dataset
+from repro.faults import FaultSchedule
+from repro.net import StaticPlacement
+from repro.obs import FlightRecorder, Observer, StreamAnalyzer
+from repro.protocol import ProtocolConfig, SimulationConfig, run_manet_simulation
+
+
+def active_observer() -> Observer:
+    """The most expensive observer configuration we ship (the ``repro
+    blackbox`` setup)."""
+    return Observer().attach_flight(FlightRecorder()).attach_stream(
+        StreamAnalyzer()
+    )
+
+
+GRID_POSITIONS = [(150.0 * (i % 3), 150.0 * (i // 3)) for i in range(9)]
+
+WORKLOAD = [
+    QueryRequest(time=1.0, device=0, distance=2000.0),
+    QueryRequest(time=120.0, device=4, distance=2000.0),
+]
+
+#: One schedule per fault family, staged inside the 400 s query run.
+#: The grid x-coordinates are 0/150/300, so the partition at x=225
+#: separates the right column.
+FAULT_FAMILIES = {
+    "crash": FaultSchedule().crash(30.0, node=7, downtime=40.0),
+    "link-blackout": FaultSchedule().link_blackout(10.0, 0, 1,
+                                                   duration=60.0),
+    "loss-burst": FaultSchedule().loss_burst(110.0, rate=0.6,
+                                             duration=30.0),
+    "partition": FaultSchedule().partition(20.0, "x", 225.0,
+                                           duration=60.0),
+    "duplication": FaultSchedule().duplication(5.0, rate=0.5,
+                                               duration=120.0),
+    "delay-jitter": FaultSchedule().delay_jitter(5.0, max_delay=0.2,
+                                                 duration=120.0),
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_global_dataset(900, 2, 9, "independent", seed=41,
+                               value_step=1.0)
+
+
+def run_query_sim(dataset, strategy, faults, observer=None):
+    config = SimulationConfig(
+        strategy=strategy, sim_time=400.0, seed=17, faults=faults,
+        protocol=ProtocolConfig(),
+    )
+    return run_manet_simulation(
+        dataset, WORKLOAD, config,
+        mobility=StaticPlacement(GRID_POSITIONS), observer=observer,
+    )
+
+
+def query_signature(result):
+    """Bit-level identity of everything a query run produced."""
+    return (
+        [
+            (
+                r.key,
+                r.issue_time,
+                r.completion_time,
+                r.closed,
+                r.aborted_by_crash,
+                r.reissues,
+                sorted(r.contributions),
+                r.result.values.tobytes(),
+                sorted(r.reachable_at_issue),
+            )
+            for r in result.records
+        ],
+        (
+            result.traffic.transmissions,
+            result.traffic.deliveries,
+            result.traffic.drops,
+            result.traffic.bytes_sent,
+            dict(result.traffic.by_kind),
+        ),
+        result.issued,
+        result.suppressed,
+        result.events,
+        result.energy_joules,
+        result.fault_events,
+    )
+
+
+def continuous_signature(result):
+    """Bit-level identity of a continuous subscription run."""
+    record = result.record
+    return (
+        record.status,
+        [
+            (
+                e.epoch,
+                e.tick_time,
+                e.closed_at,
+                tuple(sorted(e.result_rows)),
+                tuple(sorted(e.reporters)),
+                e.messages,
+            )
+            for e in record.epochs
+        ],
+        (
+            result.traffic.transmissions,
+            result.traffic.deliveries,
+            result.traffic.drops,
+            result.traffic.bytes_sent,
+        ),
+        result.update_events,
+        result.fault_events,
+    )
+
+
+class TestQueryRuns:
+    @pytest.mark.parametrize("strategy", ["bf", "df"])
+    @pytest.mark.parametrize("family", sorted(FAULT_FAMILIES))
+    def test_active_run_is_bit_identical(self, dataset, strategy, family):
+        faults = FAULT_FAMILIES[family]
+        plain = run_query_sim(dataset, strategy, faults)
+        observer = active_observer()
+        active = run_query_sim(dataset, strategy, faults, observer=observer)
+        assert query_signature(active) == query_signature(plain)
+        # The instrumentation actually recorded — this is the active
+        # path, not the no-op path.
+        assert observer.causal
+        assert len(observer.flight) > 0
+        assert observer.stream.windows_closed > 0
+
+
+def continuous_config(**overrides):
+    fields = dict(
+        devices=9, cardinality=270, epochs=3, d=600.0, seed=7,
+        data_updates=6, static_grid=True, loss_rate=0.0,
+    )
+    fields.update(overrides)
+    return ContinuousConfig(**fields)
+
+
+#: Faults staged around the subscription epoch clock (install at 10 s,
+#: interval 20 s, budget 8 s). The unit grid from ``grid_placement``
+#: spans x = 0..2000-ish; the partition splits between columns.
+CONTINUOUS_FAULTS = {
+    "crash": FaultSchedule().crash(25.0, node=7, downtime=30.0),
+    "link-blackout": FaultSchedule().link_blackout(15.0, 0, 1,
+                                                   duration=30.0),
+    "loss-burst": FaultSchedule().loss_burst(32.0, rate=0.5,
+                                             duration=20.0),
+    "partition": FaultSchedule().partition(28.0, "x", 500.0,
+                                           duration=25.0),
+    "duplication": FaultSchedule().duplication(12.0, rate=0.5,
+                                               duration=40.0),
+    "delay-jitter": FaultSchedule().delay_jitter(12.0, max_delay=0.15,
+                                                 duration=40.0),
+}
+
+
+class TestContinuousRuns:
+    @pytest.mark.parametrize("family", sorted(CONTINUOUS_FAULTS))
+    def test_active_run_is_bit_identical(self, family):
+        config = continuous_config(faults=CONTINUOUS_FAULTS[family])
+        plain = run_continuous_simulation(config)
+        observer = active_observer()
+        active = run_continuous_simulation(config, observer=observer)
+        assert continuous_signature(active) == continuous_signature(plain)
+        assert observer.causal
+        assert len(observer.flight) > 0
+        assert observer.stream.windows_closed > 0
+
+    def test_fault_free_subscription_is_bit_identical(self):
+        config = continuous_config()
+        plain = run_continuous_simulation(config)
+        active = run_continuous_simulation(config,
+                                           observer=active_observer())
+        assert continuous_signature(active) == continuous_signature(plain)

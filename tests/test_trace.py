@@ -144,9 +144,56 @@ class TestTracer:
         sim.run()
         assert len(tracer) > recorded
 
-    def test_uninstall_without_install_rejected(self):
-        with pytest.raises(RuntimeError):
-            Tracer().uninstall()
+    def test_uninstall_without_install_is_noop(self):
+        tracer = Tracer()
+        assert tracer.uninstall() is tracer  # idempotent, chainable
+
+    def test_double_uninstall_is_noop(self):
+        sim, world, _ = make_world()
+        record_before = world.stats.record_send
+        tracer = Tracer().install(world)
+        tracer.uninstall()
+        tracer.uninstall()  # second call must not touch the world
+        assert world.stats.record_send == record_before
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        assert len(tracer) == 0
+        assert world.stats.transmissions == 1
+
+    def test_uninstall_while_active_preserves_inflight_frames(self):
+        """Uninstalling mid-run: frames already sent still deliver
+        through the restored path, and nothing new is recorded."""
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        tracer.uninstall()  # before the delivery event fires
+        sim.run()
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["frame-sent"]  # send seen, delivery not
+        assert world.stats.deliveries == 1  # frame still arrived
+
+    def test_env_ring_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_RING", "2")
+        sim, world, _ = make_world()
+        tracer = Tracer().install(world)
+        for _ in range(4):
+            world.send(Frame(kind=FrameKind.RESULT, src=0, dst=1))
+        sim.run()
+        assert tracer.capacity == 2
+        assert len(tracer) == 2
+        assert tracer.dropped_events > 0
+
+    def test_env_ring_capacity_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_RING", "-3")
+        with pytest.raises(ValueError):
+            Tracer()
+        monkeypatch.setenv("REPRO_OBS_RING", "lots")
+        with pytest.raises(ValueError):
+            Tracer()
+
+    def test_env_ring_capacity_unbounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_RING", "unbounded")
+        assert Tracer().capacity is None
 
     def test_capacity_eviction_is_oldest_first(self):
         sim, world, _ = make_world()
